@@ -1,0 +1,25 @@
+"""Figure 1: branching vs branch-free selection on three devices.
+
+Regenerates the paper's opening figure; the benchmark times compiling and
+executing the selection kernels, the printed table is the simulated
+seconds at the paper's one-billion-row scale.
+"""
+
+from repro.bench import figure01
+from repro.bench.selection import make_store, run_selection
+
+
+def test_figure01_series(benchmark, bench_n, capsys):
+    store = make_store(bench_n)
+
+    def once():
+        return run_selection(bench_n, 0.5, "Branching", "cpu-1t", store=store)
+
+    benchmark.pedantic(once, rounds=3, iterations=1)
+    figure = figure01.run(n=bench_n)
+    with capsys.disabled():
+        print()
+        print(figure.render(precision=3))
+        violations = figure01.expected_shape(figure)
+        print(f"shape check: {'PASS' if not violations else violations}")
+    assert not figure01.expected_shape(figure)

@@ -1,0 +1,23 @@
+"""Figure 12: TPC-H on the GPU profile, Voodoo vs Ocelot."""
+
+from repro.bench import tpch_compare
+from repro.compiler import CompilerOptions
+from repro.relational import VoodooEngine
+from repro.tpch import build
+
+
+def test_figure12_gpu_comparison(benchmark, tpch_store, capsys):
+    engine = VoodooEngine(tpch_store, CompilerOptions(device="gpu"))
+    query = build(tpch_store, 6)
+    benchmark.pedantic(lambda: engine.execute(query), rounds=3, iterations=1)
+
+    gpu = tpch_compare.run(device="gpu", store=tpch_store)
+    cpu = tpch_compare.run(device="cpu-mt", store=tpch_store,
+                           queries=[int(g[1:]) for g in gpu.groups])
+    with capsys.disabled():
+        print()
+        print(gpu.render(precision=2))
+        print("paper (SF 10, their GPU, ms):", tpch_compare.PAPER_GPU_MS)
+        violations = tpch_compare.expected_shape_gpu(cpu, gpu)
+        print(f"shape check: {'PASS' if not violations else violations}")
+    assert not tpch_compare.expected_shape_gpu(cpu, gpu)

@@ -1,0 +1,21 @@
+"""Figure 13: TPC-H on the CPU profile, HyPeR vs Voodoo vs Ocelot."""
+
+from repro.bench import tpch_compare
+from repro.compiler import CompilerOptions
+from repro.relational import VoodooEngine
+from repro.tpch import build
+
+
+def test_figure13_cpu_comparison(benchmark, tpch_store, capsys):
+    engine = VoodooEngine(tpch_store, CompilerOptions(device="cpu-mt"))
+    query = build(tpch_store, 1)
+    benchmark.pedantic(lambda: engine.execute(query), rounds=3, iterations=1)
+
+    figure = tpch_compare.run(device="cpu-mt", store=tpch_store)
+    with capsys.disabled():
+        print()
+        print(figure.render(precision=2))
+        print("paper (SF 10, their CPU, ms):", tpch_compare.PAPER_CPU_MS)
+        violations = tpch_compare.expected_shape_cpu(figure)
+        print(f"shape check: {'PASS' if not violations else violations}")
+    assert not tpch_compare.expected_shape_cpu(figure)

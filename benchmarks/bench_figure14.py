@@ -1,0 +1,30 @@
+"""Figure 14: just-in-time layout transformations (CPU and GPU panels)."""
+
+import pytest
+
+from repro.bench import figure14
+from repro.compiler import CompilerOptions, compile_program
+
+N_LOOKUPS = 1 << 23  # enough lookups to amortize the 128 MB transform
+
+
+@pytest.mark.parametrize("device,checker", [
+    ("cpu-mt", figure14.expected_shape_cpu),
+    ("gpu", figure14.expected_shape_gpu),
+])
+def test_figure14_layout_transform(benchmark, device, checker, capsys):
+    store = figure14.make_store("Random 4MB", N_LOOKUPS)
+    compiled = compile_program(
+        figure14.program("Layout Transform"), CompilerOptions(device=device)
+    )
+    benchmark.pedantic(lambda: compiled.simulate(store), rounds=3, iterations=1)
+
+    figure = figure14.run(device=device, n_lookups=N_LOOKUPS)
+    with capsys.disabled():
+        print()
+        print("patterns:", ", ".join(
+            f"{i}={p}" for i, p in enumerate(figure14.PATTERNS)))
+        print(figure.render(precision=4))
+        violations = checker(figure)
+        print(f"shape check: {'PASS' if not violations else violations}")
+    assert not checker(figure)

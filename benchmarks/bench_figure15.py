@@ -1,0 +1,26 @@
+"""Figure 15: selection implementations across selectivity (CPU and GPU)."""
+
+import pytest
+
+from repro.bench import figure15
+from repro.bench.selection import make_store, run_selection
+
+
+@pytest.mark.parametrize("device,checker", [
+    ("cpu-mt", figure15.expected_shape_cpu),
+    ("gpu", figure15.expected_shape_gpu),
+])
+def test_figure15_selection(benchmark, device, checker, bench_n, capsys):
+    store = make_store(bench_n)
+    benchmark.pedantic(
+        lambda: run_selection(bench_n, 0.1, "Vectorized (BF)", device, store=store),
+        rounds=3, iterations=1,
+    )
+
+    figure = figure15.run(device=device, n=bench_n)
+    with capsys.disabled():
+        print()
+        print(figure.render(precision=3))
+        violations = checker(figure)
+        print(f"shape check: {'PASS' if not violations else violations}")
+    assert not checker(figure)

@@ -1,0 +1,27 @@
+"""Figure 16: selective foreign-key join implementations (CPU and GPU)."""
+
+import pytest
+
+from repro.bench import figure16
+from repro.compiler import CompilerOptions, compile_program
+
+
+@pytest.mark.parametrize("device,checker", [
+    ("cpu-mt", figure16.expected_shape_cpu),
+    ("gpu", figure16.expected_shape_gpu),
+])
+def test_figure16_selective_fk_join(benchmark, device, checker, bench_n, capsys):
+    store = figure16.make_store(bench_n)
+    compiled = compile_program(
+        figure16.program("Predicated Lookups", 0.4),
+        CompilerOptions(device=device),
+    )
+    benchmark.pedantic(lambda: compiled.simulate(store, scale=figure16.PAPER_N / bench_n), rounds=3, iterations=1)
+
+    figure = figure16.run(device=device, n=bench_n)
+    with capsys.disabled():
+        print()
+        print(figure.render(precision=4))
+        violations = checker(figure)
+        print(f"shape check: {'PASS' if not violations else violations}")
+    assert not checker(figure)

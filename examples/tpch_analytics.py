@@ -1,0 +1,67 @@
+"""TPC-H analytics through the whole stack (the paper's Figure 2).
+
+Generates a TPC-H database, runs the evaluated queries through
+SQL/relational-algebra -> Voodoo translation -> compiled kernels, prints
+results with simulated per-device timings, and compares against the
+HyPeR-like and Ocelot-like baseline engines.
+
+Run:  python examples/tpch_analytics.py [scale_factor]
+"""
+
+import sys
+
+from repro.baselines import HyperEngine, OcelotEngine
+from repro.compiler import CompilerOptions
+from repro.relational import VoodooEngine, parse_sql
+from repro.tpch import build, generate
+
+
+def main(scale_factor: float = 0.01):
+    print(f"generating TPC-H at SF {scale_factor} ...")
+    store = generate(scale_factor, seed=42)
+    for table in store.tables():
+        print(f"  {table.name:10s} {table.n_rows:>9,} rows")
+
+    engine = VoodooEngine(store, CompilerOptions(device="cpu-mt"))
+
+    print("\n=== Q1 (pricing summary) through the relational frontend ===")
+    result = engine.execute(build(store, 1))
+    for row in result.table.to_dicts():
+        print("  " + " | ".join(f"{k}={v:.2f}" if isinstance(v, float) else f"{k}={v}"
+                                for k, v in row.items()))
+    print(f"  [{result.compiled.kernel_count()} kernels, "
+          f"{result.milliseconds:.3f} simulated ms on cpu-mt]")
+
+    print("\n=== the same database through the SQL frontend ===")
+    query = parse_sql(
+        "SELECT l_returnflag, count(*) AS n, avg(l_quantity) AS avg_qty "
+        "FROM lineitem WHERE l_shipdate < 2000 "
+        "GROUP BY l_returnflag ORDER BY l_returnflag",
+        store,
+    )
+    for row in engine.query(query).to_dicts():
+        print(f"  {row}")
+
+    print("\n=== engine comparison (simulated ms; paper Figure 13 style) ===")
+    hyper = HyperEngine(store, device="cpu-mt")
+    ocelot = OcelotEngine(store, device="cpu-mt")
+    print(f"  {'query':>6} | {'Voodoo':>8} | {'HyPeR':>8} | {'Ocelot':>8}")
+    for number in (1, 5, 6, 12, 19):
+        q = build(store, number)
+        v = engine.execute(q).milliseconds
+        h = hyper.milliseconds(q)
+        o = ocelot.milliseconds(q)
+        print(f"  {'Q' + str(number):>6} | {v:8.3f} | {h:8.3f} | {o:8.3f}")
+
+    print("\n=== the same queries on the GPU profile (Figure 12 style) ===")
+    gpu_engine = VoodooEngine(store, CompilerOptions(device="gpu"))
+    gpu_ocelot = OcelotEngine(store, device="gpu")
+    print(f"  {'query':>6} | {'Voodoo':>8} | {'Ocelot':>8}")
+    for number in (1, 6, 19):
+        q = build(store, number)
+        print(f"  {'Q' + str(number):>6} | {gpu_engine.execute(q).milliseconds:8.3f} "
+              f"| {gpu_ocelot.milliseconds(q):8.3f}")
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.01)

@@ -1,0 +1,23 @@
+"""Reproduction of Voodoo — a vector algebra for portable database
+performance on modern hardware (Pirk et al., VLDB 2016).
+
+Top-level convenience re-exports; see README.md for the architecture and
+DESIGN.md for the system inventory and substitutions.
+"""
+
+from repro.compiler import CompiledProgram, CompilerOptions, compile_program
+from repro.core import Builder, Keypath, Program, Schema, StructuredVector, kp
+from repro.hardware import CostModel, available_devices, get_device
+from repro.interpreter import Interpreter
+from repro.relational import Query, VoodooEngine, parse_sql
+from repro.storage import ColumnStore, Table
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompiledProgram", "CompilerOptions", "compile_program",
+    "Builder", "Keypath", "Program", "Schema", "StructuredVector", "kp",
+    "CostModel", "available_devices", "get_device",
+    "Interpreter", "Query", "VoodooEngine", "parse_sql",
+    "ColumnStore", "Table", "__version__",
+]

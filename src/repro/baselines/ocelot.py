@@ -1,0 +1,118 @@
+"""The Ocelot-like baseline: operator-at-a-time bulk processing.
+
+Models MonetDB/Ocelot [13] as the paper characterizes it (Table 1: no
+bandwidth-efficiency technique, bulk processing, GPU-optimized): every
+operator reads its full inputs from memory and writes its full output
+back.  On a CPU's ~34 GB/s this materialization tax is crushing for
+high-output-cardinality queries (the paper's Q1 observation); on a GPU's
+300 GB/s it mostly disappears (Figure 12 vs Figure 13) — both effects
+fall out of the traffic accounting below with no special-casing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.engine import BaselineEngine, Rows
+
+
+class OcelotEngine(BaselineEngine):
+    """Bulk execution: full materialization between operators."""
+
+    strategy = "bulk"
+
+    #: Ocelot kernels are massively data-parallel (GPU-style), so they keep
+    #: SIMD/warp efficiency — their cost is the memory traffic.
+    def apply_filter(self, rows: Rows, keep: np.ndarray) -> Rows:
+        # Bulk engines compact eagerly: build a new column set.
+        idx = np.flatnonzero(keep)
+        columns = {name: col[idx] for name, col in rows.columns.items()}
+        return Rows(columns, np.ones(len(idx), dtype=bool))
+
+    def with_valid(self, rows: Rows, valid: np.ndarray) -> Rows:
+        if valid.all():
+            return rows
+        idx = np.flatnonzero(valid)
+        columns = {name: col[idx] for name, col in rows.columns.items()}
+        return Rows(columns, np.ones(len(idx), dtype=bool))
+
+    # -- traffic accounting: read everything, write everything ------------------
+
+    def _bulk(self, label: str, read: int, written: int, elements: int,
+              int_ops: int = 0, **extra) -> None:
+        self.new_kernel()  # operator-at-a-time: every operator is a kernel
+        self.emit(
+            label=label,
+            elements=elements,
+            int_ops=int_ops or elements,
+            bytes_read_seq=read,
+            bytes_written_seq=written,
+            extent=max(1, elements),
+            barrier=True,
+            **extra,
+        )
+
+    def on_scan(self, n_rows: int) -> None:
+        self.emit(label="scan", elements=n_rows, extent=n_rows)
+
+    def on_filter(self, rows: Rows, keep: np.ndarray, n_cols: int = 1) -> None:
+        n = len(rows)
+        hits = int(keep.sum())
+        width = rows.nbytes() // max(1, n)
+        # one pass producing the selection vector + one pass per column to
+        # compact the qualifying rows (classic MonetDB candidate lists)
+        self._bulk(
+            "filter.select", read=8 * n * n_cols, written=8 * hits, elements=n,
+        )
+        self._bulk(
+            "filter.compact", read=rows.nbytes() + 8 * hits,
+            written=hits * width, elements=n,
+        )
+
+    def on_map(self, rows: Rows) -> None:
+        n = len(rows)
+        self._bulk("map", read=8 * n, written=8 * n, elements=n)
+
+    def on_build(self, build: Rows, pull: dict) -> None:
+        n = len(build)
+        width = max(1, len(pull)) * 8 + 8
+        self._bulk(
+            "join.build", read=n * width, written=n * width, elements=n,
+        )
+
+    def on_probe(self, rows: Rows, build: Rows, plan) -> None:
+        n = len(rows)
+        pulled = (len(getattr(plan, "pull", {})) or 1) * 8
+        footprint = max(64, len(build) * (pulled + 8))
+        self.emit(
+            label="join.probe",
+            elements=n,
+            int_ops=2 * n,
+            bytes_read_seq=8 * n,
+            bytes_written_seq=n * pulled,  # materialized join result
+            random_reads=n,
+            random_read_footprint=footprint,
+            extent=n,
+            barrier=True,
+        )
+
+    def on_aggregate(self, rows: Rows, groups: int, n_aggs: int) -> None:
+        n = len(rows)
+        self._bulk(
+            "aggregate", read=8 * n * n_aggs, written=8 * groups * (n_aggs + 1),
+            elements=n, int_ops=n * n_aggs,
+            random_writes=n * n_aggs,
+            random_write_footprint=max(64, groups * 8 * (n_aggs + 1)),
+        )
+
+    def on_compute(self, n: int) -> None:
+        # every scalar sub-expression is its own bulk operator
+        self._bulk("compute", read=16 * n, written=8 * n, elements=n)
+
+    def on_gather(self, n: int, footprint: int) -> None:
+        self.emit(
+            label="gather", elements=n, int_ops=n,
+            bytes_read_seq=8 * n, bytes_written_seq=8 * n,
+            random_reads=n, random_read_footprint=max(64, footprint),
+            extent=n, barrier=True,
+        )

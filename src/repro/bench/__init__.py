@@ -1,0 +1,5 @@
+"""Benchmark harness and per-figure experiment modules."""
+
+from repro.bench.harness import BarSet, Series, SeriesSet, geometric_mean
+
+__all__ = ["BarSet", "Series", "SeriesSet", "geometric_mean"]

@@ -1,0 +1,67 @@
+"""Figure 1: branching vs branch-free selection across devices.
+
+The paper's opening motivation: over one billion floats, the branch-free
+(predicated) selection beats the branching one by up to ~4x single-
+threaded and ~2.5x multi-threaded at mid selectivities, while on the GPU
+the branching implementation is "often better and never significantly
+worse".
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import SeriesSet
+from repro.bench.selection import PAPER_N, make_store, run_selection
+
+#: the paper's x-axis (selectivity in percent, log scale 1..100)
+SELECTIVITIES = (1.0, 5.0, 10.0, 50.0, 100.0)
+
+LINES = (
+    ("Single Thread Branch", "cpu-1t", "Branching"),
+    ("Single Thread No Branch", "cpu-1t", "Branch-Free"),
+    ("Multithread Branch", "cpu-mt", "Branching"),
+    ("Multithread No Branch", "cpu-mt", "Branch-Free"),
+    ("GPU Branch", "gpu", "Branching"),
+    ("GPU No Branch", "gpu", "Branch-Free"),
+)
+
+
+def run(n: int = 1 << 20, selectivities=SELECTIVITIES,
+        scale_to: int | None = PAPER_N) -> SeriesSet:
+    """Regenerate the figure's six lines (simulated seconds)."""
+    figure = SeriesSet(
+        title="Figure 1: selection, branching vs branch-free (predication)",
+        x_label="selectivity %",
+        y_label="seconds",
+    )
+    store = make_store(n)
+    for label, device, variant in LINES:
+        line = figure.line(label)
+        for sel_pct in selectivities:
+            seconds = run_selection(
+                n, sel_pct / 100.0, variant, device, store=store, scale_to=scale_to
+            )
+            line.add(sel_pct, seconds)
+    return figure
+
+
+def expected_shape(figure: SeriesSet) -> list[str]:
+    """The claims of the figure, checked by tests; returns violations."""
+    problems = []
+    # branch-free flat-ish, branching bell-shaped, crossing at mid selectivity
+    for device in ("Single Thread", "Multithread"):
+        branch = figure.series[f"{device} Branch"]
+        flat = figure.series[f"{device} No Branch"]
+        if branch.y_at(50.0) <= flat.y_at(50.0):
+            problems.append(f"{device}: branch-free should win at 50% selectivity")
+        ratio = branch.y_at(50.0) / flat.y_at(50.0)
+        low, high = (2.0, 6.0) if device == "Single Thread" else (1.25, 4.0)
+        if not (low <= ratio <= high):
+            problems.append(
+                f"{device}: 50% ratio {ratio:.2f} outside [{low}, {high}]"
+            )
+    gpu_branch = figure.series["GPU Branch"]
+    gpu_flat = figure.series["GPU No Branch"]
+    for sel in figure.series["GPU Branch"].xs:
+        if gpu_branch.y_at(sel) > gpu_flat.y_at(sel) * 1.5:
+            problems.append(f"GPU: branching significantly worse at {sel}%")
+    return problems

@@ -1,0 +1,68 @@
+"""Figure 15: ``select sum(v2) from facts where v1 between $1 and $2``.
+
+Three implementations of the selection (see
+:mod:`repro.bench.selection`), selectivity swept log-scale 0.01%..100%.
+
+Paper result (CPU): branching shows the speculative-execution bell curve;
+branch-free is flat and wins mid-range; the vectorized variant (cache-
+sized position buffer) beats branch-free everywhere and branching above
+~1% selectivity.  On the GPU, predication only adds traffic and
+vectorization *hurts* (the position buffer is filled sequentially,
+throttling the parallelism that hides latency).
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import SeriesSet
+from repro.bench.selection import PAPER_N, VARIANTS, make_store, run_selection
+
+SELECTIVITIES = (0.01, 0.1, 1.0, 10.0, 100.0)
+
+
+def run(device: str = "cpu-mt", n: int = 1 << 19,
+        selectivities=SELECTIVITIES, scale_to: int | None = PAPER_N) -> SeriesSet:
+    figure = SeriesSet(
+        title=f"Figure 15: selection implementations ({device})",
+        x_label="selectivity %", y_label="seconds",
+    )
+    store = make_store(n)
+    for variant in VARIANTS:
+        line = figure.line(variant)
+        for sel_pct in selectivities:
+            seconds = run_selection(
+                n, sel_pct / 100.0, variant, device, store=store, scale_to=scale_to
+            )
+            line.add(sel_pct, seconds)
+    return figure
+
+
+def expected_shape_cpu(figure: SeriesSet) -> list[str]:
+    problems = []
+    branch = figure.series["Branching"]
+    flat = figure.series["Branch-Free"]
+    vectorized = figure.series["Vectorized (BF)"]
+    # bell curve: worst around mid selectivities, cheap at the extremes
+    mid = max(branch.y_at(x) for x in (1.0, 10.0))
+    if not (mid > branch.y_at(0.01)):
+        problems.append("CPU: branching should peak at mid selectivity")
+    # vectorized beats plain branch-free (buffer stays in cache)
+    for x in figure.series["Branching"].xs:
+        if vectorized.y_at(x) > flat.y_at(x) * 1.05:
+            problems.append(f"CPU: vectorized should not lose to branch-free at {x}%")
+    # vectorized beats branching at mid/high selectivity (paper: above ~1%)
+    if vectorized.y_at(10.0) > branch.y_at(10.0):
+        problems.append("CPU: vectorized should beat branching at 10%")
+    return problems
+
+
+def expected_shape_gpu(figure: SeriesSet) -> list[str]:
+    problems = []
+    branch = figure.series["Branching"]
+    flat = figure.series["Branch-Free"]
+    vectorized = figure.series["Vectorized (BF)"]
+    for x in branch.xs:
+        if flat.y_at(x) < branch.y_at(x) * 0.95:
+            problems.append(f"GPU: predication should not win at {x}%")
+        if vectorized.y_at(x) < flat.y_at(x) * 0.95:
+            problems.append(f"GPU: vectorization should hurt at {x}%")
+    return problems

@@ -1,0 +1,87 @@
+"""Shared selection-microbenchmark programs (Figures 1 and 15).
+
+Builds the three selection variants of the paper as Voodoo programs:
+
+* **Branching** — FoldSelect compiled with if-statements (mispredict cost);
+* **Branch-Free** — FoldSelect compiled with cursor arithmetic
+  (predication [Ross 28]: flat cost, extra writes);
+* **Vectorized (BF)** — branch-free plus an X100-style ``Materialize``
+  with a cache-sized control vector between the select and the payload
+  processing: the position buffer stays cache resident.
+
+The paper's Figure 1 measures the bare selection over one billion floats;
+Figure 15 is ``select sum(v2) from facts where v1 between $1 and $2``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compiler import CompilerOptions, compile_program
+from repro.core import Builder
+from repro.core.vector import StructuredVector
+
+#: paper Figure 1 input size (we run smaller and scale; see scale_factor)
+PAPER_N = 1_000_000_000
+
+VARIANTS = ("Branching", "Branch-Free", "Vectorized (BF)")
+
+
+def make_store(n: int, seed: int = 0) -> dict[str, StructuredVector]:
+    rng = np.random.default_rng(seed)
+    return {
+        "facts": StructuredVector(
+            n,
+            {".v1": rng.random(n, dtype=np.float32),
+             ".v2": rng.random(n, dtype=np.float32)},
+        )
+    }
+
+
+def selection_program(n: int, selectivity: float, variant: str,
+                      grain: int = 8192, vector_chunk: int = 1024):
+    """``select sum(v2) from facts where v1 <= selectivity`` in Voodoo."""
+    from repro.core import Schema
+
+    b = Builder({"facts": Schema({".v1": "float32", ".v2": "float32"})})
+    facts = b.load("facts")
+    threshold = b.constant(float(selectivity), dtype="float32")
+    pred = b.less_equal(facts.project(".v1"), threshold, out=".sel")
+    ids = b.range(facts)
+    ctrl = b.divide(ids, b.constant(grain), out=".chunk")
+    with_sel = b.zip(b.zip(facts, pred), ctrl)
+    positions = b.fold_select(with_sel, sel_kp=".sel", fold_kp=".chunk", out=".pos")
+
+    if variant == "Vectorized (BF)":
+        # cache-sized chunk buffer between select and payload processing
+        chunk_ids = b.range(positions)
+        chunk_ctrl = b.divide(chunk_ids, b.constant(vector_chunk), out=".buf")
+        positions = b.materialize(positions, chunk_ctrl, control_kp=".buf")
+
+    payload = b.gather(facts.project(".v2"), positions, pos_kp=".pos")
+    chunked = b.zip(payload, ctrl)
+    partial = b.fold_sum(chunked, agg_kp=".v2", fold_kp=".chunk", out=".part")
+    total = b.fold_sum(partial, agg_kp=".part", out=".total")
+    return b.build(total=total)
+
+
+def variant_options(variant: str, device: str) -> CompilerOptions:
+    selection = "branching" if variant == "Branching" else "branch-free"
+    return CompilerOptions(device=device, selection=selection)
+
+
+def run_selection(
+    n: int, selectivity: float, variant: str, device: str,
+    store=None, scale_to: int | None = PAPER_N,
+) -> float:
+    """Simulated seconds of one variant at one selectivity on one device.
+
+    Executes over *n* rows but scales the trace to *scale_to* rows (the
+    paper's one billion), preserving parallel-extent proportions.
+    """
+    store = store or make_store(n)
+    program = selection_program(n, selectivity, variant)
+    compiled = compile_program(program, variant_options(variant, device))
+    scale = (scale_to / n) if scale_to else 1.0
+    _, report = compiled.simulate(store, scale=scale)
+    return report.seconds

@@ -1,0 +1,111 @@
+"""The compiled-program object and the top-level compile entry point.
+
+    compiled = compile_program(program, options=CompilerOptions(device="gpu"))
+    outputs, trace = compiled.run(storage)
+    report = compiled.price(trace)          # simulated seconds on the device
+    print(compiled.source)                  # generated Python kernel code
+    print(compiled.opencl)                  # pseudo-OpenCL rendering
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.core.program import Program
+from repro.core.vector import StructuredVector
+from repro.compiler.codegen import compile_source, generate_source
+from repro.compiler.fragments import FragmentPlan
+from repro.compiler.metadata import MetadataPass
+from repro.compiler.opencl_emit import emit_opencl
+from repro.compiler.optimizer import optimize
+from repro.compiler.options import CompilerOptions
+from repro.compiler.rt import Runtime
+from repro.hardware.cost import CostModel, CostReport
+from repro.hardware.device import DeviceProfile, get_device
+from repro.hardware.trace import Trace, TraceRecorder
+
+
+@dataclass
+class CompiledProgram:
+    """An executable compilation artifact."""
+
+    program: Program
+    options: CompilerOptions
+    plan: FragmentPlan
+    source: str
+    entry: Callable
+    device: DeviceProfile
+
+    @property
+    def opencl(self) -> str:
+        """Pseudo-OpenCL rendering of the fragments (lazy)."""
+        return emit_opencl(self.plan)
+
+    def kernel_count(self) -> int:
+        return self.plan.kernel_count()
+
+    def run(
+        self,
+        storage: Mapping[str, StructuredVector],
+        collect_trace: bool = True,
+        scale: float = 1.0,
+    ) -> tuple[dict[str, StructuredVector], Trace]:
+        """Execute over *storage*; returns (named outputs, operation trace).
+
+        ``scale`` > 1 makes the recorded trace model a dataset that many
+        times larger than the arrays actually executed (volumes and
+        parallel extents scale; sequential fragments do not) — how the
+        microbenchmarks reach the paper's one-billion-row sizes.
+        """
+        recorder = TraceRecorder(enabled=collect_trace)
+        runtime = Runtime(
+            storage=storage,
+            device=self.device,
+            recorder=recorder,
+            selection=self.options.selection,
+            slot_suppression=self.options.slot_suppression,
+            virtual_scatter=self.options.virtual_scatter,
+            scale=scale,
+        )
+        outputs = self.entry(runtime)
+        return dict(outputs), recorder.trace
+
+    def price(self, trace: Trace) -> CostReport:
+        """Simulated cost of a recorded trace on this program's device."""
+        return CostModel(self.device).price(trace)
+
+    def simulate(
+        self, storage: Mapping[str, StructuredVector], scale: float = 1.0
+    ) -> tuple[dict[str, StructuredVector], CostReport]:
+        """Run and price in one call (what the benchmarks use)."""
+        outputs, trace = self.run(storage, scale=scale)
+        return outputs, self.price(trace)
+
+
+def compile_program(
+    program: Program,
+    options: CompilerOptions | None = None,
+    run_optimizer: bool = True,
+) -> CompiledProgram:
+    """Compile a Voodoo program for a device (the OpenCL-backend analogue).
+
+    Pipeline: optimizer (CSE) → control-vector metadata inference →
+    fragment assignment (extent/intent) → kernel source generation →
+    ``compile()``.
+    """
+    if run_optimizer:
+        program = optimize(program)
+    options = options or CompilerOptions()
+    metadata = MetadataPass(program)
+    plan = FragmentPlan(program, options, metadata)
+    source = generate_source(plan)
+    entry = compile_source(source)
+    return CompiledProgram(
+        program=program,
+        options=options,
+        plan=plan,
+        source=source,
+        entry=entry,
+        device=get_device(options.device),
+    )

@@ -1,0 +1,60 @@
+"""Program-level optimization passes.
+
+* :func:`cse` — common-subexpression elimination by structural
+  hash-consing (the paper's non-redundancy payoff: shared DAG nodes are
+  computed once and materialized at most once).
+
+``Program`` construction already guarantees reachability (only nodes
+reachable from an output exist), so classic dead-code elimination is
+implicit.  The :class:`~repro.core.program.Interner` used by the builder
+gives CSE at construction time; this pass re-establishes it for programs
+assembled mechanically (e.g. by the relational translator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+
+from repro.core import ops
+from repro.core.program import Program, clone_with_inputs
+
+
+def _structural_key(node: ops.Op, input_keys: tuple[int, ...]) -> tuple:
+    params = []
+    for f in fields(node):
+        value = getattr(node, f.name)
+        if isinstance(value, ops.Op):
+            continue
+        if isinstance(value, tuple) and value and all(isinstance(v, ops.Op) for v in value):
+            continue
+        params.append((f.name, repr(value)))
+    return (type(node).__name__, tuple(params), input_keys)
+
+
+def cse(program: Program) -> Program:
+    """Merge structurally identical subexpressions into shared nodes.
+
+    ``Persist`` nodes are never merged (they have external effects); all
+    pure operators with equal type, parameters and (already canonicalized)
+    inputs become one node.
+    """
+    canonical: dict[tuple, ops.Op] = {}
+    replacement: dict[int, ops.Op] = {}
+
+    for node in program:
+        new_inputs = tuple(replacement[id(child)] for child in node.inputs())
+        input_keys = tuple(id(i) for i in new_inputs)
+        key = _structural_key(node, input_keys)
+        if key in canonical and not isinstance(node, ops.Persist):
+            replacement[id(node)] = canonical[key]
+        else:
+            rebuilt = clone_with_inputs(node, new_inputs)
+            canonical[key] = rebuilt
+            replacement[id(node)] = rebuilt
+
+    return Program({name: replacement[id(node)] for name, node in program.outputs.items()})
+
+
+def optimize(program: Program) -> Program:
+    """The default pass pipeline used by :func:`repro.compiler.compile_program`."""
+    return cse(program)

@@ -1,0 +1,57 @@
+"""Compiler options: the tuning flags of the physical optimizer.
+
+These correspond to the optimization flags described in the paper's
+section 4 ("the physical optimizer has a number of optimization flags
+that enable hardware-specific optimizations") and are the knobs the
+tunability experiments (section 5.3) sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import CompilationError
+
+SELECTION_STRATEGIES = ("branching", "branch-free")
+
+
+@dataclass(frozen=True)
+class CompilerOptions:
+    """Hardware-specific code generation choices.
+
+    Attributes
+    ----------
+    device:
+        Target device profile name (``cpu-1t``, ``cpu-mt``, ``gpu``).
+    selection:
+        FoldSelect implementation: ``branching`` (if-statements, costs
+        mispredictions) or ``branch-free`` (cursor arithmetic /
+        predication [Ross 28], costs extra writes).
+    virtual_scatter:
+        Keep scatters virtual until materialization (section 3.1.3).
+    slot_suppression:
+        Allocate compact buffers for statically-dead ε slots (3.1.2).
+    fuse:
+        Inline operators between pipeline breakers into one fragment; off
+        = operator-at-a-time (Ocelot-style) execution, for ablations.
+    parallel_grain:
+        Default intent for folds whose control vector carries no static
+        metadata; ``None`` lets the backend pick per device.
+    """
+
+    device: str = "cpu-mt"
+    selection: str = "branching"
+    virtual_scatter: bool = True
+    slot_suppression: bool = True
+    fuse: bool = True
+    parallel_grain: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.selection not in SELECTION_STRATEGIES:
+            raise CompilationError(
+                f"selection must be one of {SELECTION_STRATEGIES}, got {self.selection!r}"
+            )
+
+    def with_(self, **changes) -> "CompilerOptions":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)

@@ -1,0 +1,125 @@
+"""Keypaths: dotted attribute paths into Structured Vectors.
+
+The paper (section 2.1) navigates nested record structure with *keypaths*,
+written with a leading dot: ``.value`` or ``.input.value``.  Because nested
+structs flatten naturally onto dotted leaf names, a keypath here is an
+immutable tuple of non-empty components with a canonical textual form.
+"""
+
+from __future__ import annotations
+
+import re
+from functools import total_ordering
+from typing import Iterable, Iterator
+
+from repro.errors import KeypathError
+
+_COMPONENT_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+@total_ordering
+class Keypath:
+    """An immutable dotted path such as ``.lineitem.l_quantity``.
+
+    Instances are hashable and ordered (lexicographically on components) so
+    they can key schema dictionaries deterministically.
+    """
+
+    __slots__ = ("_components",)
+
+    def __init__(self, components: Iterable[str]):
+        parts = tuple(components)
+        if not parts:
+            raise KeypathError("a keypath needs at least one component")
+        for part in parts:
+            if not _COMPONENT_RE.match(part):
+                raise KeypathError(f"invalid keypath component: {part!r}")
+        self._components = parts
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: str) -> "Keypath":
+        """Parse the textual form ``.a.b`` (the leading dot is optional)."""
+        if not isinstance(text, str):
+            raise KeypathError(f"cannot parse keypath from {type(text).__name__}")
+        stripped = text[1:] if text.startswith(".") else text
+        if not stripped:
+            raise KeypathError(f"empty keypath: {text!r}")
+        return cls(stripped.split("."))
+
+    @classmethod
+    def of(cls, value: "Keypath | str") -> "Keypath":
+        """Coerce a string or keypath into a :class:`Keypath`."""
+        if isinstance(value, Keypath):
+            return value
+        return cls.parse(value)
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def components(self) -> tuple[str, ...]:
+        return self._components
+
+    @property
+    def leaf(self) -> str:
+        """The last component (the attribute's own name)."""
+        return self._components[-1]
+
+    @property
+    def root(self) -> str:
+        """The first component."""
+        return self._components[0]
+
+    def __len__(self) -> int:
+        return len(self._components)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._components)
+
+    # -- combination -------------------------------------------------------
+
+    def child(self, *names: str) -> "Keypath":
+        """Extend the path downward: ``Keypath.parse('.a').child('b')``."""
+        return Keypath(self._components + names)
+
+    def concat(self, other: "Keypath") -> "Keypath":
+        return Keypath(self._components + other._components)
+
+    def rebase(self, old_prefix: "Keypath", new_prefix: "Keypath") -> "Keypath":
+        """Replace a leading *old_prefix* with *new_prefix*."""
+        if not self.startswith(old_prefix):
+            raise KeypathError(f"{self} does not start with {old_prefix}")
+        return Keypath(new_prefix._components + self._components[len(old_prefix) :])
+
+    def startswith(self, prefix: "Keypath") -> bool:
+        return self._components[: len(prefix)] == prefix._components
+
+    def strip_prefix(self, prefix: "Keypath") -> "Keypath":
+        if not self.startswith(prefix) or len(self) == len(prefix):
+            raise KeypathError(f"{self} has no proper prefix {prefix}")
+        return Keypath(self._components[len(prefix) :])
+
+    # -- dunder ------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Keypath) and self._components == other._components
+
+    def __lt__(self, other: "Keypath") -> bool:
+        if not isinstance(other, Keypath):
+            return NotImplemented
+        return self._components < other._components
+
+    def __hash__(self) -> int:
+        return hash(self._components)
+
+    def __str__(self) -> str:
+        return "." + ".".join(self._components)
+
+    def __repr__(self) -> str:
+        return f"Keypath({str(self)!r})"
+
+
+def kp(text: "str | Keypath") -> Keypath:
+    """Shorthand coercion used throughout the library."""
+    return Keypath.of(text)

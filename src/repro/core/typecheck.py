@@ -1,0 +1,203 @@
+"""Static schema inference for Voodoo programs.
+
+Voodoo is statically typed: every node's output schema is determined by its
+inputs' schemas and its parameters.  Backends rely on this pass both to
+validate programs before execution and to allocate outputs (the paper's
+"outputs of statically known size", section 3.1.2).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.core import ops
+from repro.core.keypath import Keypath
+from repro.core.program import Program
+from repro.core.schema import Schema
+from repro.errors import TypeCheckError
+
+POSITION_DTYPE = np.dtype(np.int64)
+
+
+def promote(a: np.dtype, b: np.dtype) -> np.dtype:
+    """Binary arithmetic result dtype (NumPy promotion, bools count as ints)."""
+    if a.kind == "b":
+        a = np.dtype(np.int64)
+    if b.kind == "b":
+        b = np.dtype(np.int64)
+    return np.promote_types(a, b)
+
+
+class TypeChecker:
+    """Infers and caches the output :class:`Schema` of every node."""
+
+    def __init__(self, load_schemas: Mapping[str, Schema]):
+        self._load_schemas = dict(load_schemas)
+        self._cache: dict[int, Schema] = {}
+
+    def check(self, program: Program) -> dict[int, Schema]:
+        """Schema for every node in the program, keyed by ``id(node)``."""
+        for node in program:
+            self._cache[id(node)] = self._infer(node)
+        return dict(self._cache)
+
+    def schema_of(self, node: ops.Op) -> Schema:
+        if id(node) not in self._cache:
+            # visit-once traversal: Op.walk() would revisit shared DAG
+            # nodes exponentially often on join-heavy plans
+            from repro.core.program import topological_order
+
+            for dep in topological_order([node]):
+                if id(dep) not in self._cache:
+                    self._cache[id(dep)] = self._infer(dep)
+        return self._cache[id(node)]
+
+    # -- per-operator rules -------------------------------------------------
+
+    def _in(self, node: ops.Op) -> Schema:
+        return self._cache[id(node)]
+
+    def _scalar(self, schema: Schema, path: Keypath, who: str) -> np.dtype:
+        leaves = schema.resolve(path)
+        if len(leaves) != 1 or leaves[0] != path:
+            raise TypeCheckError(f"{who}: keypath {path} must name a scalar leaf")
+        return schema[path]
+
+    def _infer(self, node: ops.Op) -> Schema:
+        method = getattr(self, f"_infer_{type(node).__name__.lower()}", None)
+        if method is None:
+            raise TypeCheckError(f"no type rule for operator {node.opname}")
+        try:
+            return method(node)
+        except TypeCheckError:
+            raise
+        except Exception as exc:  # keep the node context in the error
+            raise TypeCheckError(f"{node.opname}: {exc}") from exc
+
+    def _infer_load(self, node: ops.Load) -> Schema:
+        try:
+            return self._load_schemas[node.name]
+        except KeyError:
+            raise TypeCheckError(f"Load: unknown vector {node.name!r}") from None
+
+    def _infer_persist(self, node: ops.Persist) -> Schema:
+        return self._in(node.source)
+
+    def _infer_binary(self, node: ops.Binary) -> Schema:
+        left = self._scalar(self._in(node.left), node.left_kp, node.opname)
+        right = self._scalar(self._in(node.right), node.right_kp, node.opname)
+        if node.fn in ops.COMPARISON_OPS or node.fn in ops.LOGICAL_OPS:
+            dtype = np.dtype(bool)
+        elif node.fn == "Divide" and left.kind in "iu" and right.kind in "iu":
+            dtype = promote(left, right)  # integer division stays integral
+        else:
+            dtype = promote(left, right)
+        return Schema({node.out: dtype})
+
+    def _infer_unary(self, node: ops.Unary) -> Schema:
+        src = self._scalar(self._in(node.source), node.source_kp, node.fn)
+        if node.fn in ("LogicalNot", "IsPresent"):
+            dtype = np.dtype(bool)
+        elif node.fn == "Cast":
+            dtype = np.dtype(node.dtype)
+        else:  # Negate
+            dtype = src if src.kind != "u" else np.dtype(np.int64)
+        return Schema({node.out: dtype})
+
+    def _rerooted(self, schema: Schema, path: Keypath, out: Keypath) -> Schema:
+        sub = schema.subschema(path) if path not in schema else None
+        if sub is None:  # scalar leaf
+            return Schema({out: schema[path]})
+        return sub.nest(out)
+
+    def _infer_zip(self, node: ops.Zip) -> Schema:
+        left = (
+            self._in(node.left)
+            if node.kp1 is None
+            else self._rerooted(self._in(node.left), node.kp1, node.out1)
+        )
+        right = (
+            self._in(node.right)
+            if node.kp2 is None
+            else self._rerooted(self._in(node.right), node.kp2, node.out2)
+        )
+        overlap = set(left.paths()) & set(right.paths())
+        if overlap:
+            raise TypeCheckError(f"Zip output attributes collide: {sorted(map(str, overlap))}")
+        return left.merge(right)
+
+    def _infer_project(self, node: ops.Project) -> Schema:
+        return self._rerooted(self._in(node.source), node.kp, node.out)
+
+    def _infer_upsert(self, node: ops.Upsert) -> Schema:
+        base = self._in(node.target)
+        dtype = self._scalar(self._in(node.value), node.kp, "Upsert")
+        fields = {p: d for p, d in base.items() if p != node.out}
+        fields[node.out] = dtype
+        return Schema(fields)
+
+    def _infer_gather(self, node: ops.Gather) -> Schema:
+        self._scalar(self._in(node.positions), node.pos_kp, "Gather")
+        return self._in(node.source)
+
+    def _infer_scatter(self, node: ops.Scatter) -> Schema:
+        self._scalar(self._in(node.positions), node.pos_kp, "Scatter")
+        return self._in(node.data)
+
+    def _infer_materialize(self, node: ops.Materialize) -> Schema:
+        if node.control is not None and node.control_kp is not None:
+            self._scalar(self._in(node.control), node.control_kp, "Materialize")
+        return self._in(node.source)
+
+    def _infer_break(self, node: ops.Break) -> Schema:
+        return self._in(node.source)
+
+    def _infer_partition(self, node: ops.Partition) -> Schema:
+        self._scalar(self._in(node.source), node.kp, "Partition")
+        self._scalar(self._in(node.pivots), node.pivot_kp, "Partition")
+        return Schema({node.out: POSITION_DTYPE})
+
+    def _infer_foldselect(self, node: ops.FoldSelect) -> Schema:
+        self._fold_control(node)
+        self._scalar(self._in(node.source), node.sel_kp, "FoldSelect")
+        return Schema({node.out: POSITION_DTYPE})
+
+    def _infer_foldaggregate(self, node: ops.FoldAggregate) -> Schema:
+        self._fold_control(node)
+        dtype = self._scalar(self._in(node.source), node.agg_kp, f"Fold{node.fn}")
+        if node.fn == "sum":
+            # Sums widen to avoid overflow, like every real engine.
+            dtype = np.dtype(np.float64) if dtype.kind == "f" else np.dtype(np.int64)
+        return Schema({node.out: dtype})
+
+    def _infer_foldscan(self, node: ops.FoldScan) -> Schema:
+        self._fold_control(node)
+        dtype = self._scalar(self._in(node.source), node.s_kp, "FoldScan")
+        dtype = np.dtype(np.float64) if dtype.kind == "f" else np.dtype(np.int64)
+        return Schema({node.out: dtype})
+
+    def _infer_foldcount(self, node: ops.FoldCount) -> Schema:
+        self._fold_control(node)
+        if node.counted_kp is not None:
+            self._scalar(self._in(node.source), node.counted_kp, "FoldCount")
+        return Schema({node.out: POSITION_DTYPE})
+
+    def _fold_control(self, node: ops.FoldOp) -> None:
+        if node.fold_kp is not None:
+            self._scalar(self._in(node.source), node.fold_kp, node.opname)
+
+    def _infer_range(self, node: ops.Range) -> Schema:
+        return Schema({node.out: POSITION_DTYPE})
+
+    def _infer_constant(self, node: ops.Constant) -> Schema:
+        return Schema({node.out: np.dtype(node.dtype)})
+
+    def _infer_cross(self, node: ops.Cross) -> Schema:
+        return Schema({node.kp1: POSITION_DTYPE, node.kp2: POSITION_DTYPE})
+
+
+def infer_schemas(program: Program, load_schemas: Mapping[str, Schema]) -> dict[int, Schema]:
+    """Convenience wrapper: infer the schema of every node in *program*."""
+    return TypeChecker(load_schemas).check(program)

@@ -1,0 +1,248 @@
+"""Structured Vectors — the only data abstraction in Voodoo.
+
+A Structured Vector (paper section 2.1) is an ordered collection of fixed
+size items conforming to one schema, a thin abstraction over integer
+addressable memory.  This implementation stores one NumPy array per leaf
+keypath ("structure of arrays"), plus an optional per-attribute presence
+mask implementing the paper's *empty* (ε) field value: slots not set by a
+``Scatter`` or not selected by a ``FoldSelect`` are ε.
+
+A presence mask of ``None`` means "every slot present" — the common case —
+so fully-dense vectors pay no mask storage (mirroring the paper's
+empty-slot suppression at the data-model level).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.core.controlvector import RunInfo
+from repro.core.keypath import Keypath, kp
+from repro.core.schema import Schema, check_dtype
+from repro.errors import SchemaError, VoodooError
+
+
+class StructuredVector:
+    """An immutable-by-convention structure-of-arrays vector with ε masks."""
+
+    __slots__ = ("_length", "_columns", "_present", "_runinfo")
+
+    def __init__(
+        self,
+        length: int,
+        columns: Mapping[Keypath | str, np.ndarray],
+        present: Mapping[Keypath | str, np.ndarray | None] | None = None,
+        runinfo: Mapping[Keypath | str, RunInfo] | None = None,
+    ):
+        if length < 0:
+            raise VoodooError(f"vector length must be >= 0, got {length}")
+        self._length = int(length)
+        self._columns: dict[Keypath, np.ndarray] = {}
+        self._present: dict[Keypath, np.ndarray | None] = {}
+        self._runinfo: dict[Keypath, RunInfo] = {}
+
+        present = present or {}
+        normalized_present = {kp(p): m for p, m in present.items()}
+        for path, array in columns.items():
+            path = kp(path)
+            array = np.asarray(array)
+            check_dtype(array.dtype)
+            if array.ndim != 1 or len(array) != self._length:
+                raise SchemaError(
+                    f"column {path}: expected 1-D array of length {self._length}, "
+                    f"got shape {array.shape}"
+                )
+            self._columns[path] = array
+            mask = normalized_present.get(path)
+            if mask is not None:
+                mask = np.asarray(mask, dtype=bool)
+                if mask.shape != (self._length,):
+                    raise SchemaError(f"presence mask for {path} has shape {mask.shape}")
+                if mask.all():
+                    mask = None  # dense: drop the mask
+            self._present[path] = mask
+        Schema._check_no_prefix_conflicts(self._columns)
+
+        for path, info in (runinfo or {}).items():
+            path = kp(path)
+            if path not in self._columns:
+                raise SchemaError(f"runinfo refers to missing attribute {path}")
+            self._runinfo[path] = info
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def from_arrays(cls, **named_arrays: np.ndarray) -> "StructuredVector":
+        """Build a dense vector from keyword arrays of equal length."""
+        if not named_arrays:
+            raise SchemaError("a Structured Vector needs at least one attribute")
+        lengths = {len(a) for a in named_arrays.values()}
+        if len(lengths) != 1:
+            raise SchemaError(f"attribute lengths differ: {sorted(lengths)}")
+        return cls(lengths.pop(), {Keypath([n]): np.asarray(a) for n, a in named_arrays.items()})
+
+    @classmethod
+    def single(cls, path: Keypath | str, array: np.ndarray) -> "StructuredVector":
+        array = np.asarray(array)
+        return cls(len(array), {kp(path): array})
+
+    @classmethod
+    def empty(cls, length: int, schema: Schema) -> "StructuredVector":
+        """All-ε vector of the given schema (what a fresh Scatter target is)."""
+        columns = {p: np.zeros(length, dtype=d) for p, d in schema.items()}
+        masks = {p: np.zeros(length, dtype=bool) for p in schema}
+        return cls(length, columns, masks)
+
+    # -- basic accessors ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def schema(self) -> Schema:
+        return Schema({p: a.dtype for p, a in self._columns.items()})
+
+    @property
+    def paths(self) -> tuple[Keypath, ...]:
+        return tuple(self._columns)
+
+    def attr(self, path: Keypath | str) -> np.ndarray:
+        """The raw value array for a leaf keypath (ε slots hold garbage)."""
+        path = kp(path)
+        try:
+            return self._columns[path]
+        except KeyError:
+            raise SchemaError(f"no attribute {path} in vector with {list(self._columns)}") from None
+
+    def present(self, path: Keypath | str) -> np.ndarray:
+        """Boolean presence mask for a leaf keypath (dense ⇒ all-True)."""
+        path = kp(path)
+        if path not in self._columns:
+            raise SchemaError(f"no attribute {path}")
+        mask = self._present.get(path)
+        if mask is None:
+            return np.ones(self._length, dtype=bool)
+        return mask
+
+    def is_dense(self, path: Keypath | str) -> bool:
+        return self._present.get(kp(path)) is None
+
+    def runinfo_for(self, path: Keypath | str) -> RunInfo | None:
+        """Symbolic run metadata for a generated attribute, if tracked."""
+        return self._runinfo.get(kp(path))
+
+    def resolve(self, path: Keypath | str) -> tuple[Keypath, ...]:
+        """Leaf keypaths designated by *path* (which may name a struct)."""
+        path = kp(path)
+        if path in self._columns:
+            return (path,)
+        leaves = tuple(p for p in self._columns if p.startswith(path))
+        if not leaves:
+            raise SchemaError(f"keypath {path} does not resolve; have {list(self._columns)}")
+        return leaves
+
+    # -- structural operations (used by backends) -----------------------------------
+
+    def project(self, path: Keypath | str, out: Keypath | str | None = None) -> "StructuredVector":
+        """Extract the substructure at *path*, re-rooted at *out* (Project)."""
+        path = kp(path)
+        leaves = self.resolve(path)
+        out = kp(out) if out is not None else None
+        columns: dict[Keypath, np.ndarray] = {}
+        present: dict[Keypath, np.ndarray | None] = {}
+        runinfo: dict[Keypath, RunInfo] = {}
+        for leaf in leaves:
+            new = leaf if out is None else (
+                out if leaf == path else leaf.rebase(path, out)
+            )
+            columns[new] = self._columns[leaf]
+            present[new] = self._present.get(leaf)
+            if leaf in self._runinfo:
+                runinfo[new] = self._runinfo[leaf]
+        return StructuredVector(self._length, columns, present, runinfo)
+
+    def with_attr(
+        self,
+        path: Keypath | str,
+        array: np.ndarray,
+        mask: np.ndarray | None = None,
+        runinfo: RunInfo | None = None,
+    ) -> "StructuredVector":
+        """Copy with attribute *path* replaced or inserted (Upsert)."""
+        path = kp(path)
+        columns = dict(self._columns)
+        present = dict(self._present)
+        infos = dict(self._runinfo)
+        columns[path] = np.asarray(array)
+        present[path] = mask
+        if runinfo is not None:
+            infos[path] = runinfo
+        else:
+            infos.pop(path, None)
+        return StructuredVector(self._length, columns, present, infos)
+
+    def without_attr(self, path: Keypath | str) -> "StructuredVector":
+        path = kp(path)
+        leaves = self.resolve(path)
+        columns = {p: a for p, a in self._columns.items() if p not in leaves}
+        if not columns:
+            raise SchemaError("cannot drop the last attribute of a vector")
+        present = {p: self._present.get(p) for p in columns}
+        infos = {p: i for p, i in self._runinfo.items() if p in columns}
+        return StructuredVector(self._length, columns, present, infos)
+
+    def zip(self, other: "StructuredVector") -> "StructuredVector":
+        """Positional combination of two vectors (Zip); length = min."""
+        n = min(self._length, len(other))
+        columns: dict[Keypath, np.ndarray] = {}
+        present: dict[Keypath, np.ndarray | None] = {}
+        infos: dict[Keypath, RunInfo] = {}
+        for side in (self, other):
+            for path, array in side._columns.items():
+                if path in columns:
+                    raise SchemaError(f"Zip would duplicate attribute {path}")
+                columns[path] = array[:n]
+                mask = side._present.get(path)
+                present[path] = None if mask is None else mask[:n]
+                if path in side._runinfo:
+                    infos[path] = side._runinfo[path]
+        return StructuredVector(n, columns, present, infos)
+
+    def take(self, positions: np.ndarray) -> "StructuredVector":
+        """Positional gather; out-of-bounds positions yield ε slots."""
+        positions = np.asarray(positions)
+        valid = (positions >= 0) & (positions < self._length)
+        safe = np.where(valid, positions, 0).astype(np.int64)
+        columns: dict[Keypath, np.ndarray] = {}
+        present: dict[Keypath, np.ndarray | None] = {}
+        for path, array in self._columns.items():
+            columns[path] = array[safe]
+            mask = self._present.get(path)
+            taken_mask = valid if mask is None else (valid & mask[safe])
+            present[path] = None if taken_mask.all() else taken_mask
+        return StructuredVector(len(positions), columns, present)
+
+    def head(self, n: int) -> "StructuredVector":
+        n = min(n, self._length)
+        columns = {p: a[:n] for p, a in self._columns.items()}
+        present = {p: (None if m is None else m[:n]) for p, m in self._present.items()}
+        return StructuredVector(n, columns, present, self._runinfo)
+
+    # -- debugging ------------------------------------------------------------------
+
+    def to_records(self) -> list[dict[str, object]]:
+        """Python-native rows with ``None`` for ε slots (interpreter output)."""
+        rows: list[dict[str, object]] = []
+        for i in range(self._length):
+            row: dict[str, object] = {}
+            for path, array in self._columns.items():
+                mask = self._present.get(path)
+                row[str(path)] = array[i].item() if (mask is None or mask[i]) else None
+            rows.append(row)
+        return rows
+
+    def __repr__(self) -> str:
+        cols = ", ".join(f"{p}:{a.dtype}" for p, a in self._columns.items())
+        return f"StructuredVector(len={self._length}, {{{cols}}})"

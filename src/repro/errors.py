@@ -1,0 +1,53 @@
+"""Exception hierarchy for the Voodoo reproduction.
+
+Every error raised by the library derives from :class:`VoodooError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the phase that failed (program construction,
+type checking, compilation, execution, storage, SQL parsing).
+"""
+
+from __future__ import annotations
+
+
+class VoodooError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class KeypathError(VoodooError):
+    """A keypath is malformed or does not resolve against a schema."""
+
+
+class SchemaError(VoodooError):
+    """A schema is inconsistent or an operation violates schema rules."""
+
+
+class ProgramError(VoodooError):
+    """A Voodoo program is structurally invalid (bad DAG, bad operands)."""
+
+
+class TypeCheckError(VoodooError):
+    """Static type or shape inference failed for a Voodoo program."""
+
+
+class CompilationError(VoodooError):
+    """The compiling backend could not translate a program to kernels."""
+
+
+class ExecutionError(VoodooError):
+    """A backend failed while executing a (valid, compiled) program."""
+
+
+class ControlVectorError(VoodooError):
+    """Control-vector metadata is inconsistent with its use in a fold."""
+
+
+class StorageError(VoodooError):
+    """Persistent storage (column store / catalog) failure."""
+
+
+class SQLError(VoodooError):
+    """The SQL-subset parser rejected a statement."""
+
+
+class TranslationError(VoodooError):
+    """Relational algebra could not be translated to Voodoo."""

@@ -1,0 +1,56 @@
+"""Branch predictor models.
+
+The analytical model follows Ross [28] (the paper's predication
+reference): for a data-dependent branch taken with i.i.d. probability
+``p``, a two-bit/bimodal predictor mispredicts a fraction of roughly
+``2 p (1 - p)`` of executions — maximal at 50% selectivity, which is what
+produces the bell-shaped curves in Figures 1, 15 and 16.
+
+A concrete two-bit saturating-counter simulator is provided for the test
+suite to check the analytical approximation against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def mispredict_fraction(taken_fraction: float) -> float:
+    """Expected mispredict rate of a bimodal predictor at this selectivity."""
+    p = min(max(taken_fraction, 0.0), 1.0)
+    return 2.0 * p * (1.0 - p)
+
+
+class TwoBitPredictor:
+    """A classic two-bit saturating counter, one counter per branch site."""
+
+    STRONG_NOT_TAKEN, WEAK_NOT_TAKEN, WEAK_TAKEN, STRONG_TAKEN = 0, 1, 2, 3
+
+    def __init__(self) -> None:
+        self.state = self.WEAK_NOT_TAKEN
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def predict_and_update(self, taken: bool) -> bool:
+        """Returns True if the prediction was correct."""
+        predicted_taken = self.state >= self.WEAK_TAKEN
+        correct = predicted_taken == taken
+        self.predictions += 1
+        if not correct:
+            self.mispredictions += 1
+        if taken and self.state < self.STRONG_TAKEN:
+            self.state += 1
+        elif not taken and self.state > self.STRONG_NOT_TAKEN:
+            self.state -= 1
+        return correct
+
+    def run(self, outcomes: np.ndarray) -> float:
+        """Feed a boolean outcome stream; returns the mispredict fraction."""
+        for taken in np.asarray(outcomes, dtype=bool):
+            self.predict_and_update(bool(taken))
+        return self.mispredictions / self.predictions if self.predictions else 0.0
+
+
+def simulate_mispredict_fraction(outcomes: np.ndarray) -> float:
+    """Mispredict fraction of a fresh two-bit predictor on this stream."""
+    return TwoBitPredictor().run(outcomes)

@@ -1,0 +1,6 @@
+"""Reference interpreter backend (bulk-processing, fully materializing)."""
+
+from repro.interpreter.engine import Interpreter, apply_binary
+from repro.interpreter import semantics
+
+__all__ = ["Interpreter", "apply_binary", "semantics"]

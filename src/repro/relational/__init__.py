@@ -1,0 +1,37 @@
+"""Relational frontend: algebra, expressions, SQL subset, translation, engine."""
+
+from repro.relational.algebra import (
+    AggSpec,
+    Filter,
+    GroupBy,
+    Join,
+    KeySpec,
+    Map,
+    Plan,
+    Query,
+    Scan,
+    SemiJoin,
+)
+from repro.relational.engine import QueryResult, ResultTable, VoodooEngine
+from repro.relational.expressions import (
+    Arith,
+    Cast,
+    Cmp,
+    Col,
+    Expr,
+    IfThenElse,
+    InSet,
+    Lit,
+    Membership,
+    Not,
+    ScalarOf,
+)
+from repro.relational.sql import parse_sql
+from repro.relational.translate import Translator, translate_query
+
+__all__ = [
+    "AggSpec", "Filter", "GroupBy", "Join", "KeySpec", "Map", "Plan", "Query",
+    "Scan", "SemiJoin", "QueryResult", "ResultTable", "VoodooEngine",
+    "Arith", "Cast", "Cmp", "Col", "Expr", "IfThenElse", "InSet", "Lit",
+    "Membership", "Not", "ScalarOf", "parse_sql", "Translator", "translate_query",
+]

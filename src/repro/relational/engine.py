@@ -1,0 +1,146 @@
+"""The query engine: plans (or SQL) in, result tables out.
+
+Wires the whole stack of the paper's Figure 2 together: relational
+algebra → Voodoo translation → compiled kernels → Structured Vector
+outputs → result extraction (masked slots dropped, dictionary codes
+decoded, order-by/limit applied as post-processing, as in section 5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.compiler import CompiledProgram, CompilerOptions, compile_program
+from repro.core.keypath import Keypath
+from repro.errors import TranslationError
+from repro.hardware.cost import CostReport
+from repro.hardware.trace import Trace
+from repro.relational.algebra import Query
+from repro.relational.translate import Translator
+from repro.storage.columnstore import ColumnStore
+
+
+@dataclass
+class ResultTable:
+    """A small, fully materialized query result."""
+
+    columns: list[str]
+    arrays: dict[str, np.ndarray]
+
+    def __len__(self) -> int:
+        return len(next(iter(self.arrays.values()))) if self.arrays else 0
+
+    def column(self, name: str) -> np.ndarray:
+        return self.arrays[name]
+
+    def rows(self) -> list[tuple]:
+        return list(zip(*(self.arrays[c] for c in self.columns)))
+
+    def to_dicts(self) -> list[dict]:
+        return [dict(zip(self.columns, row)) for row in self.rows()]
+
+    def __repr__(self) -> str:
+        return f"ResultTable({len(self)} rows x {self.columns})"
+
+
+@dataclass
+class QueryResult:
+    """Result plus everything observability needs."""
+
+    table: ResultTable
+    trace: Trace
+    cost: CostReport
+    compiled: CompiledProgram
+
+    @property
+    def milliseconds(self) -> float:
+        return self.cost.milliseconds
+
+
+class VoodooEngine:
+    """Executes relational queries through the Voodoo backend."""
+
+    def __init__(
+        self,
+        store: ColumnStore,
+        options: CompilerOptions | None = None,
+        grain: int | None = None,
+    ):
+        self.store = store
+        self.options = options or CompilerOptions()
+        if grain is None:
+            # device-tuned control-vector grain: GPUs want many more
+            # partitions in flight than CPUs (the paper's tunability knob)
+            grain = 256 if self.options.device == "gpu" else 4096
+        self.grain = grain
+
+    def vectors(self):
+        """The Load context; rebuilt per call so late-registered auxiliary
+        vectors (LIKE membership tables) are always visible."""
+        return self.store.vectors()
+
+    # -- execution -----------------------------------------------------------
+
+    def compile(self, query: Query) -> CompiledProgram:
+        program = Translator(self.store, grain=self.grain).translate_query(query)
+        return compile_program(program, self.options)
+
+    def execute(self, query: Query) -> QueryResult:
+        compiled = self.compile(query)
+        outputs, trace = compiled.run(self.vectors())
+        table = self._extract(query, outputs["result"])
+        return QueryResult(
+            table=table, trace=trace, cost=compiled.price(trace), compiled=compiled
+        )
+
+    def query(self, query: Query) -> ResultTable:
+        return self.execute(query).table
+
+    # -- result extraction -------------------------------------------------------
+
+    def _extract(self, query: Query, vector) -> ResultTable:
+        missing = [c for c in query.select if Keypath([c]) not in vector.schema]
+        if missing:
+            raise TranslationError(
+                f"result lacks columns {missing}; has "
+                f"{[str(p) for p in vector.schema.paths()]}"
+            )
+        mask = np.ones(len(vector), dtype=bool)
+        for name in query.select:
+            mask &= vector.present(Keypath([name]))
+        arrays = {name: vector.attr(Keypath([name]))[mask] for name in query.select}
+
+        order = self._sort_order(query, arrays)
+        if order is not None:
+            arrays = {name: arr[order] for name, arr in arrays.items()}
+        if query.limit is not None:
+            arrays = {name: arr[: query.limit] for name, arr in arrays.items()}
+
+        decoded: dict[str, np.ndarray] = {}
+        for name, arr in arrays.items():
+            source = query.decode.get(name)
+            if source is not None:
+                dictionary = self.store.table(source[0]).dictionary(source[1])
+                decoded[name] = np.array(dictionary.decode(arr), dtype=object)
+            else:
+                decoded[name] = arr
+        return ResultTable(columns=list(query.select), arrays=decoded)
+
+    @staticmethod
+    def _sort_order(query: Query, arrays: dict[str, np.ndarray]):
+        if not query.order_by:
+            return None
+        keys = []
+        for name, desc in reversed(query.order_by):
+            col = arrays[name]
+            keys.append(-col if desc and col.dtype.kind in "iuf" else col)
+        order = np.lexsort(keys)
+        # lexsort cannot negate non-numeric keys; handle a trailing desc sort
+        for name, desc in query.order_by:
+            col = arrays[name]
+            if desc and col.dtype.kind not in "iuf":
+                order = order[::-1]
+                break
+        return order

@@ -1,0 +1,15 @@
+"""Columnar storage engine: tables, dictionaries, catalog, persistence."""
+
+from repro.storage.columnstore import Column, ColumnStats, ColumnStore, Table
+from repro.storage.dictionary import StringDictionary
+from repro.storage.persist import load, save
+
+__all__ = [
+    "Column",
+    "ColumnStats",
+    "ColumnStore",
+    "Table",
+    "StringDictionary",
+    "load",
+    "save",
+]

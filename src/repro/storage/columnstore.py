@@ -1,0 +1,185 @@
+"""Binary column-wise storage with catalog metadata.
+
+The MonetDB substitute (DESIGN.md): tables are collections of typed
+columns; strings are dictionary encoded; the catalog tracks per-column
+min/max statistics — the metadata the paper's backend "aggressively
+exploits" to size hash tables and bypass collision handling (section 5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.keypath import Keypath
+from repro.core.schema import check_dtype
+from repro.core.vector import StructuredVector
+from repro.errors import StorageError
+from repro.storage.dictionary import StringDictionary
+
+
+@dataclass
+class Column:
+    """One typed column, optionally dictionary-encoded."""
+
+    name: str
+    data: np.ndarray
+    dictionary: StringDictionary | None = None
+
+    def __post_init__(self) -> None:
+        self.data = np.asarray(self.data)
+        check_dtype(self.data.dtype)
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    @property
+    def min(self):
+        return self.data.min() if len(self.data) else None
+
+    @property
+    def max(self):
+        return self.data.max() if len(self.data) else None
+
+    def decoded(self) -> np.ndarray | list[str]:
+        if self.dictionary is None:
+            return self.data
+        return self.dictionary.decode(self.data)
+
+
+class Table:
+    """An ordered collection of equal-length columns."""
+
+    def __init__(self, name: str, columns: Sequence[Column]):
+        if not columns:
+            raise StorageError(f"table {name!r} needs at least one column")
+        lengths = {len(c) for c in columns}
+        if len(lengths) != 1:
+            raise StorageError(f"table {name!r}: column lengths differ: {sorted(lengths)}")
+        names = [c.name for c in columns]
+        if len(set(names)) != len(names):
+            raise StorageError(f"table {name!r}: duplicate column names")
+        self.name = name
+        self.columns: dict[str, Column] = {c.name: c for c in columns}
+        self.n_rows = lengths.pop()
+
+    @classmethod
+    def from_arrays(cls, name: str, /, **arrays) -> "Table":
+        """Build a table; str-dtype/object arrays are dictionary encoded.
+
+        ``name`` is positional-only so a column may also be called "name".
+        """
+        columns = []
+        for col_name, values in arrays.items():
+            values = np.asarray(values)
+            if values.dtype.kind in ("U", "S", "O"):
+                dictionary, codes = StringDictionary.from_column([str(v) for v in values])
+                columns.append(Column(col_name, codes, dictionary))
+            else:
+                columns.append(Column(col_name, values))
+        return cls(name, columns)
+
+    def column(self, name: str) -> Column:
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise StorageError(
+                f"no column {name!r} in table {self.name!r}; have {list(self.columns)}"
+            ) from None
+
+    def dictionary(self, name: str) -> StringDictionary:
+        col = self.column(name)
+        if col.dictionary is None:
+            raise StorageError(f"column {self.name}.{name} is not dictionary encoded")
+        return col.dictionary
+
+    def to_vector(self) -> StructuredVector:
+        """The table as a Structured Vector (one attribute per column)."""
+        return StructuredVector(
+            self.n_rows,
+            {Keypath([c.name]): c.data for c in self.columns.values()},
+        )
+
+    def __len__(self) -> int:
+        return self.n_rows
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, {self.n_rows} rows, {len(self.columns)} columns)"
+
+
+@dataclass
+class ColumnStats:
+    """Catalog statistics for one column (the exploited metadata)."""
+
+    min: float | int | None
+    max: float | int | None
+    dictionary_size: int | None = None
+
+    @property
+    def domain_size(self) -> int | None:
+        """Size of a direct-addressed (identity-hash) table for this column."""
+        if self.dictionary_size is not None:
+            return self.dictionary_size
+        if self.min is None or self.max is None:
+            return None
+        return int(self.max) - int(self.min) + 1
+
+
+class ColumnStore:
+    """The database: named tables + auxiliary vectors + statistics."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+        self._aux: dict[str, StructuredVector] = {}
+
+    # -- tables -----------------------------------------------------------------
+
+    def add(self, table: Table) -> None:
+        if table.name in self._tables:
+            raise StorageError(f"table {table.name!r} already exists")
+        self._tables[table.name] = table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise StorageError(f"no table {name!r}; have {sorted(self._tables)}") from None
+
+    def tables(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables or name in self._aux
+
+    # -- auxiliary vectors (membership tables for IN/LIKE, etc.) ------------------
+
+    def add_aux(self, name: str, vector: StructuredVector, replace: bool = True) -> None:
+        if name in self._aux and not replace:
+            raise StorageError(f"auxiliary vector {name!r} already exists")
+        self._aux[name] = vector
+
+    # -- the Load-context and catalog views ----------------------------------------
+
+    def vectors(self) -> dict[str, StructuredVector]:
+        """The storage mapping handed to backends (Load name -> vector)."""
+        out = {name: table.to_vector() for name, table in self._tables.items()}
+        out.update(self._aux)
+        return out
+
+    def schemas(self) -> dict[str, "object"]:
+        return {name: vec.schema for name, vec in self.vectors().items()}
+
+    def stats(self, table: str, column: str) -> ColumnStats:
+        col = self.table(table).column(column)
+        return ColumnStats(
+            min=None if col.min is None else col.min.item(),
+            max=None if col.max is None else col.max.item(),
+            dictionary_size=None if col.dictionary is None else len(col.dictionary),
+        )
+
+    def total_bytes(self) -> int:
+        return sum(
+            col.data.nbytes for table in self._tables.values() for col in table.columns.values()
+        )

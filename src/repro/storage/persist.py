@@ -1,0 +1,65 @@
+"""On-disk persistence for the column store.
+
+Layout mirrors MonetDB's "binary column-wise" files (section 4): one
+``.npy`` file per column plus a JSON catalog describing tables, dtypes and
+dictionaries.  Loading memory-maps nothing fancy — it reads arrays back
+and re-attaches dictionaries, which is all the Voodoo frontend needs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.storage.columnstore import Column, ColumnStore, Table
+from repro.storage.dictionary import StringDictionary
+
+_CATALOG = "catalog.json"
+
+
+def save(store: ColumnStore, directory: str | Path) -> Path:
+    """Persist every table of *store* under *directory*."""
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    catalog: dict[str, dict] = {"tables": {}}
+    for table in store.tables():
+        entry: dict[str, dict] = {"columns": {}}
+        for col in table.columns.values():
+            filename = f"{table.name}.{col.name}.npy"
+            np.save(root / filename, col.data)
+            entry["columns"][col.name] = {
+                "file": filename,
+                "dtype": str(col.data.dtype),
+                "dictionary": list(col.dictionary.values()) if col.dictionary else None,
+            }
+        catalog["tables"][table.name] = entry
+    (root / _CATALOG).write_text(json.dumps(catalog, indent=2))
+    return root
+
+
+def load(directory: str | Path) -> ColumnStore:
+    """Load a column store previously written by :func:`save`."""
+    root = Path(directory)
+    catalog_path = root / _CATALOG
+    if not catalog_path.exists():
+        raise StorageError(f"no catalog at {catalog_path}")
+    catalog = json.loads(catalog_path.read_text())
+    store = ColumnStore()
+    for table_name, entry in catalog["tables"].items():
+        columns = []
+        for col_name, meta in entry["columns"].items():
+            data = np.load(root / meta["file"])
+            if str(data.dtype) != meta["dtype"]:
+                raise StorageError(
+                    f"{table_name}.{col_name}: dtype mismatch "
+                    f"({data.dtype} on disk vs {meta['dtype']} in catalog)"
+                )
+            dictionary = (
+                StringDictionary(meta["dictionary"]) if meta["dictionary"] else None
+            )
+            columns.append(Column(col_name, data, dictionary))
+        store.add(Table(table_name, columns))
+    return store

@@ -1,0 +1,366 @@
+"""Plain-NumPy reference implementations of the TPC-H queries.
+
+Completely independent of the Voodoo stack (no Structured Vectors, no
+relational algebra): every query is computed with direct array operations
+so the test-suite can check the engine's answers against an implementation
+that shares no code with it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.storage import ColumnStore
+from repro.tpch.schema import date
+
+
+def _cols(store: ColumnStore, table: str, *names: str):
+    t = store.table(table)
+    return tuple(t.column(n).data for n in names)
+
+
+def _strs(store: ColumnStore, table: str, name: str) -> np.ndarray:
+    return np.array(store.table(table).column(name).decoded(), dtype=object)
+
+
+def ref1(store: ColumnStore, delta_days: int = 90) -> list[dict]:
+    rf = _strs(store, "lineitem", "l_returnflag")
+    ls = _strs(store, "lineitem", "l_linestatus")
+    qty, price, disc, tax, ship = _cols(
+        store, "lineitem", "l_quantity", "l_extendedprice", "l_discount",
+        "l_tax", "l_shipdate",
+    )
+    sel = ship <= date(1998, 12, 1) - delta_days
+    rows = []
+    for flag in sorted(set(rf)):
+        for status in sorted(set(ls)):
+            m = sel & (rf == flag) & (ls == status)
+            if not m.any():
+                continue
+            disc_price = price[m] * (1 - disc[m])
+            rows.append({
+                "l_returnflag": flag, "l_linestatus": status,
+                "sum_qty": qty[m].sum(),
+                "sum_base_price": price[m].sum(),
+                "sum_disc_price": disc_price.sum(),
+                "sum_charge": (disc_price * (1 + tax[m])).sum(),
+                "avg_qty": qty[m].mean(),
+                "avg_price": price[m].mean(),
+                "avg_disc": disc[m].mean(),
+                "count_order": int(m.sum()),
+            })
+    return rows
+
+
+def ref4(store: ColumnStore, start=(1993, 7, 1)) -> list[dict]:
+    lo = date(*start)
+    odate, okey = _cols(store, "orders", "o_orderdate", "o_orderkey")
+    prio = _strs(store, "orders", "o_orderpriority")
+    lokey, commit, receipt = _cols(
+        store, "lineitem", "l_orderkey", "l_commitdate", "l_receiptdate"
+    )
+    late_orders = np.unique(lokey[commit < receipt])
+    sel = (odate >= lo) & (odate < lo + 90) & np.isin(okey, late_orders)
+    rows = []
+    for p in sorted(set(prio)):
+        m = sel & (prio == p)
+        if m.any():
+            rows.append({"o_orderpriority": p, "order_count": int(m.sum())})
+    return rows
+
+
+def _li_orders(store: ColumnStore):
+    lokey = store.table("lineitem").column("l_orderkey").data
+    return lokey - 1  # orderkeys are dense 1..N
+
+
+def ref5(store: ColumnStore, region: str = "ASIA", start_year: int = 1994) -> list[dict]:
+    lo, hi = date(start_year, 1, 1), date(start_year + 1, 1, 1)
+    price, disc, lsupp = _cols(store, "lineitem", "l_extendedprice", "l_discount",
+                               "l_suppkey")
+    oidx = _li_orders(store)
+    odate, ocust = _cols(store, "orders", "o_orderdate", "o_custkey")
+    cnat, = _cols(store, "customer", "c_nationkey")
+    snat, = _cols(store, "supplier", "s_nationkey")
+    nreg, = _cols(store, "nation", "n_regionkey")
+    nname = _strs(store, "nation", "n_name")
+    rname = _strs(store, "region", "r_name")
+
+    li_odate = odate[oidx]
+    li_cnat = cnat[ocust[oidx] - 1]
+    li_snat = snat[lsupp - 1]
+    sel = (
+        (li_odate >= lo) & (li_odate < hi)
+        & (li_cnat == li_snat)
+        & (rname[nreg[li_snat]] == region)
+    )
+    rows = []
+    revenue = price * (1 - disc)
+    for nation_key in range(len(nname)):
+        m = sel & (li_snat == nation_key)
+        if m.any():
+            rows.append({"n_name": nname[nation_key], "revenue": revenue[m].sum()})
+    rows.sort(key=lambda r: -r["revenue"])
+    return rows
+
+
+def ref6(store: ColumnStore, start_year: int = 1994, discount: float = 0.06,
+         quantity: int = 24) -> float:
+    ship, disc, qty, price = _cols(store, "lineitem", "l_shipdate", "l_discount",
+                                   "l_quantity", "l_extendedprice")
+    lo, hi = date(start_year, 1, 1), date(start_year + 1, 1, 1)
+    m = ((ship >= lo) & (ship < hi)
+         & (disc >= discount - 0.011) & (disc <= discount + 0.011)
+         & (qty < quantity))
+    return float((price[m] * disc[m]).sum())
+
+
+def ref7(store: ColumnStore, nation1: str = "FRANCE", nation2: str = "GERMANY") -> list[dict]:
+    price, disc, lsupp, ship = _cols(store, "lineitem", "l_extendedprice",
+                                     "l_discount", "l_suppkey", "l_shipdate")
+    oidx = _li_orders(store)
+    ocust, = _cols(store, "orders", "o_custkey")
+    cnat, = _cols(store, "customer", "c_nationkey")
+    snat, = _cols(store, "supplier", "s_nationkey")
+    nname = _strs(store, "nation", "n_name")
+    supp_nation = nname[snat[lsupp - 1]]
+    cust_nation = nname[cnat[ocust[oidx] - 1]]
+    window = (ship >= date(1995, 1, 1)) & (ship <= date(1996, 12, 31))
+    pair = (((supp_nation == nation1) & (cust_nation == nation2))
+            | ((supp_nation == nation2) & (cust_nation == nation1)))
+    sel = window & pair
+    year = 1992 + ship // 365
+    revenue = price * (1 - disc)
+    rows = []
+    for sn in (nation1, nation2):
+        cn = nation2 if sn == nation1 else nation1
+        for y in (1995, 1996):
+            m = sel & (supp_nation == sn) & (cust_nation == cn) & (year == y)
+            if m.any():
+                rows.append({"supp_nation": sn, "cust_nation": cn, "l_year": y,
+                             "revenue": revenue[m].sum()})
+    rows.sort(key=lambda r: (r["supp_nation"], r["cust_nation"], r["l_year"]))
+    return rows
+
+
+def ref8(store: ColumnStore, nation: str = "BRAZIL", region: str = "AMERICA",
+         p_type: str = "ECONOMY ANODIZED STEEL") -> list[dict]:
+    price, disc, lsupp, lpart = _cols(store, "lineitem", "l_extendedprice",
+                                      "l_discount", "l_suppkey", "l_partkey")
+    oidx = _li_orders(store)
+    odate, ocust = _cols(store, "orders", "o_orderdate", "o_custkey")
+    cnat, = _cols(store, "customer", "c_nationkey")
+    snat, = _cols(store, "supplier", "s_nationkey")
+    nreg, = _cols(store, "nation", "n_regionkey")
+    nname = _strs(store, "nation", "n_name")
+    rname = _strs(store, "region", "r_name")
+    ptype = _strs(store, "part", "p_type")
+
+    li_odate = odate[oidx]
+    sel = (
+        (ptype[lpart - 1] == p_type)
+        & (li_odate >= date(1995, 1, 1)) & (li_odate <= date(1996, 12, 31))
+        & (rname[nreg[cnat[ocust[oidx] - 1]]] == region)
+    )
+    volume = price * (1 - disc)
+    is_nation = nname[snat[lsupp - 1]] == nation
+    year = 1992 + li_odate // 365
+    rows = []
+    for y in (1995, 1996):
+        m = sel & (year == y)
+        if m.any():
+            rows.append({"o_year": y,
+                         "mkt_share": volume[m & is_nation].sum() / volume[m].sum()})
+    return rows
+
+
+def ref9(store: ColumnStore, color: str = "green") -> list[dict]:
+    price, disc, qty, lsupp, lpart = _cols(
+        store, "lineitem", "l_extendedprice", "l_discount", "l_quantity",
+        "l_suppkey", "l_partkey",
+    )
+    oidx = _li_orders(store)
+    odate, = _cols(store, "orders", "o_orderdate")
+    snat, = _cols(store, "supplier", "s_nationkey")
+    nname = _strs(store, "nation", "n_name")
+    pname = _strs(store, "part", "p_name")
+    pskey, sskey, cost = _cols(store, "partsupp", "ps_partkey", "ps_suppkey",
+                               "ps_supplycost")
+    n_supp = len(store.table("supplier"))
+    cost_by_ck = np.zeros(len(store.table("part")) * n_supp)
+    cost_by_ck[(pskey - 1) * n_supp + (sskey - 1)] = cost
+
+    has_color = np.array([color in name for name in pname])
+    sel = has_color[lpart - 1]
+    amount = price * (1 - disc) - cost_by_ck[(lpart - 1) * n_supp + (lsupp - 1)] * qty
+    year = 1992 + odate[oidx] // 365
+    li_nation = nname[snat[lsupp - 1]]
+    rows = []
+    for nation in sorted(set(li_nation[sel])):
+        for y in sorted(set(year[sel]), reverse=True):
+            m = sel & (li_nation == nation) & (year == y)
+            if m.any():
+                rows.append({"nation": nation, "o_year": int(y),
+                             "sum_profit": amount[m].sum()})
+    return rows
+
+
+def ref10(store: ColumnStore, start=(1993, 10, 1)) -> list[dict]:
+    lo = date(*start)
+    price, disc = _cols(store, "lineitem", "l_extendedprice", "l_discount")
+    rf = _strs(store, "lineitem", "l_returnflag")
+    oidx = _li_orders(store)
+    odate, ocust = _cols(store, "orders", "o_orderdate", "o_custkey")
+    cname = _strs(store, "customer", "c_name")
+    cnat, cbal = _cols(store, "customer", "c_nationkey", "c_acctbal")
+    cphone = _strs(store, "customer", "c_phone")
+    caddr = _strs(store, "customer", "c_address")
+    nname = _strs(store, "nation", "n_name")
+
+    li_odate = odate[oidx]
+    sel = (rf == "R") & (li_odate >= lo) & (li_odate < lo + 90)
+    cust = ocust[oidx]
+    revenue = price * (1 - disc)
+    totals: dict[int, float] = {}
+    for c, r in zip(cust[sel], revenue[sel]):
+        totals[int(c)] = totals.get(int(c), 0.0) + r
+    top = sorted(totals.items(), key=lambda kv: -kv[1])[:20]
+    return [
+        {"c_custkey": c, "c_name": cname[c - 1], "revenue": r,
+         "c_acctbal": cbal[c - 1], "n_name": nname[cnat[c - 1]],
+         "c_phone": cphone[c - 1], "c_address": caddr[c - 1]}
+        for c, r in top
+    ]
+
+
+def ref11(store: ColumnStore, nation: str = "GERMANY",
+          fraction: float | None = None) -> list[dict]:
+    if fraction is None:
+        fraction = 0.0001 / max(len(store.table("supplier")) / 10_000, 1e-6)
+        fraction = min(fraction, 0.05)
+    pskey, sskey, qty, cost = _cols(store, "partsupp", "ps_partkey", "ps_suppkey",
+                                    "ps_availqty", "ps_supplycost")
+    snat, = _cols(store, "supplier", "s_nationkey")
+    nname = _strs(store, "nation", "n_name")
+    sel = nname[snat[sskey - 1]] == nation
+    value = cost * qty
+    totals: dict[int, float] = {}
+    for p, v in zip(pskey[sel], value[sel]):
+        totals[int(p)] = totals.get(int(p), 0.0) + v
+    threshold = value[sel].sum() * fraction
+    rows = [{"ps_partkey": p, "value": v} for p, v in totals.items() if v > threshold]
+    rows.sort(key=lambda r: -r["value"])
+    return rows
+
+
+def ref12(store: ColumnStore, mode1: str = "MAIL", mode2: str = "SHIP",
+          start_year: int = 1994) -> list[dict]:
+    lo, hi = date(start_year, 1, 1), date(start_year + 1, 1, 1)
+    ship, commit, receipt = _cols(store, "lineitem", "l_shipdate", "l_commitdate",
+                                  "l_receiptdate")
+    mode = _strs(store, "lineitem", "l_shipmode")
+    oidx = _li_orders(store)
+    prio = _strs(store, "orders", "o_orderpriority")
+    sel = (np.isin(mode, [mode1, mode2]) & (commit < receipt) & (ship < commit)
+           & (receipt >= lo) & (receipt < hi))
+    li_prio = prio[oidx]
+    high = np.isin(li_prio, ["1-URGENT", "2-HIGH"])
+    rows = []
+    for m_name in sorted([mode1, mode2]):
+        m = sel & (mode == m_name)
+        if m.any():
+            rows.append({"l_shipmode": m_name,
+                         "high_line_count": int((m & high).sum()),
+                         "low_line_count": int((m & ~high).sum())})
+    return rows
+
+
+def ref14(store: ColumnStore, start=(1995, 9, 1)) -> float:
+    lo = date(*start)
+    ship, price, disc, lpart = _cols(store, "lineitem", "l_shipdate",
+                                     "l_extendedprice", "l_discount", "l_partkey")
+    ptype = _strs(store, "part", "p_type")
+    sel = (ship >= lo) & (ship < lo + 30)
+    volume = price[sel] * (1 - disc[sel])
+    promo = np.array([t.startswith("PROMO") for t in ptype])[lpart[sel] - 1]
+    total = volume.sum()
+    return float(100.0 * volume[promo].sum() / total) if total else 0.0
+
+
+def ref15(store: ColumnStore, start=(1996, 1, 1)) -> list[dict]:
+    lo = date(*start)
+    ship, price, disc, lsupp = _cols(store, "lineitem", "l_shipdate",
+                                     "l_extendedprice", "l_discount", "l_suppkey")
+    sname = _strs(store, "supplier", "s_name")
+    saddr = _strs(store, "supplier", "s_address")
+    sel = (ship >= lo) & (ship < lo + 90)
+    revenue = np.zeros(len(store.table("supplier")))
+    np.add.at(revenue, lsupp[sel] - 1, price[sel] * (1 - disc[sel]))
+    top = revenue.max()
+    keys = np.flatnonzero(revenue == top) + 1
+    return [
+        {"s_suppkey": int(k), "s_name": sname[k - 1], "s_address": saddr[k - 1],
+         "total_revenue": float(top)}
+        for k in sorted(keys)
+    ]
+
+
+def ref19(store: ColumnStore) -> float:
+    qty, price, disc, lpart = _cols(store, "lineitem", "l_quantity",
+                                    "l_extendedprice", "l_discount", "l_partkey")
+    mode = _strs(store, "lineitem", "l_shipmode")
+    instr = _strs(store, "lineitem", "l_shipinstruct")
+    brand = _strs(store, "part", "p_brand")
+    container = _strs(store, "part", "p_container")
+    size, = _cols(store, "part", "p_size")
+
+    li_brand = brand[lpart - 1]
+    li_cont = container[lpart - 1]
+    li_size = size[lpart - 1]
+    air = np.isin(mode, ["AIR", "REG AIR"]) & (instr == "DELIVER IN PERSON")
+    c1 = ((li_brand == "Brand#12")
+          & np.isin(li_cont, ["SM CASE", "SM BOX", "SM PACK", "SM PKG"])
+          & (qty >= 1) & (qty <= 11) & (li_size >= 1) & (li_size <= 5))
+    c2 = ((li_brand == "Brand#23")
+          & np.isin(li_cont, ["MED BAG", "MED BOX", "MED PKG", "MED PACK"])
+          & (qty >= 10) & (qty <= 20) & (li_size >= 1) & (li_size <= 10))
+    c3 = ((li_brand == "Brand#34")
+          & np.isin(li_cont, ["LG CASE", "LG BOX", "LG PACK", "LG PKG"])
+          & (qty >= 20) & (qty <= 30) & (li_size >= 1) & (li_size <= 15))
+    m = (c1 | c2 | c3) & air
+    return float((price[m] * (1 - disc[m])).sum())
+
+
+def ref20(store: ColumnStore, color: str = "forest", start_year: int = 1994,
+          nation: str = "CANADA") -> list[dict]:
+    lo, hi = date(start_year, 1, 1), date(start_year + 1, 1, 1)
+    ship, qty, lpart, lsupp = _cols(store, "lineitem", "l_shipdate", "l_quantity",
+                                    "l_partkey", "l_suppkey")
+    pname = _strs(store, "part", "p_name")
+    pskey, sskey, avail = _cols(store, "partsupp", "ps_partkey", "ps_suppkey",
+                                "ps_availqty")
+    snat, = _cols(store, "supplier", "s_nationkey")
+    sname = _strs(store, "supplier", "s_name")
+    saddr = _strs(store, "supplier", "s_address")
+    nname = _strs(store, "nation", "n_name")
+
+    n_supp = len(store.table("supplier"))
+    shipped = np.zeros(len(store.table("part")) * n_supp)
+    window = (ship >= lo) & (ship < hi)
+    np.add.at(shipped, (lpart[window] - 1) * n_supp + (lsupp[window] - 1), qty[window])
+
+    colorish = np.array([name.startswith(color) for name in pname])
+    ck = (pskey - 1) * n_supp + (sskey - 1)
+    qualifying = colorish[pskey - 1] & (shipped[ck] > 0) & (avail > 0.5 * shipped[ck])
+    good_supps = np.unique(sskey[qualifying])
+    rows = [
+        {"s_name": sname[s - 1], "s_address": saddr[s - 1]}
+        for s in good_supps if nname[snat[s - 1]] == nation
+    ]
+    rows.sort(key=lambda r: r["s_name"])
+    return rows
+
+
+REFERENCES = {1: ref1, 4: ref4, 5: ref5, 6: ref6, 7: ref7, 8: ref8, 9: ref9,
+              10: ref10, 11: ref11, 12: ref12, 14: ref14, 15: ref15,
+              19: ref19, 20: ref20}

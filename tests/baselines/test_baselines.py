@@ -1,0 +1,77 @@
+"""Baselines: correctness vs references, and strategy cost signatures."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import HyperEngine, OcelotEngine
+from repro.tpch import QUERIES, REFERENCES, build, generate
+
+
+@pytest.fixture(scope="module")
+def store():
+    return generate(0.005, seed=7)
+
+
+def _close(a, b, tol=1e-6):
+    if isinstance(a, (float, np.floating)) and isinstance(b, (float, np.floating)):
+        return abs(a - b) <= tol * max(1.0, abs(a), abs(b))
+    return a == b
+
+
+@pytest.mark.parametrize("engine_cls", [HyperEngine, OcelotEngine])
+@pytest.mark.parametrize("number", [1, 5, 6, 12, 19])
+def test_baselines_compute_correct_answers(store, engine_cls, number):
+    engine = engine_cls(store)
+    result, _, _ = engine.execute(build(store, number))
+    reference = REFERENCES[number](store)
+    if isinstance(reference, float):
+        got = float(list(result[0].values())[0])
+        assert _close(got, reference)
+        return
+    assert len(result) == len(reference)
+    for got_row, ref_row in zip(result, reference):
+        for key, value in ref_row.items():
+            assert _close(got_row[key], value), (number, key)
+
+
+def test_ocelot_moves_more_bytes_than_hyper(store):
+    """The strategies differ exactly in materialization traffic."""
+    query = build(store, 1)
+    _, hyper_trace, _ = HyperEngine(store).execute(query)
+    _, ocelot_trace, _ = OcelotEngine(store).execute(query)
+
+    def seq_bytes(trace):
+        return sum(e.bytes_read_seq + e.bytes_written_seq for e in trace.events())
+
+    assert seq_bytes(ocelot_trace) > 2 * seq_bytes(hyper_trace)
+
+
+def test_ocelot_one_kernel_per_operator(store):
+    query = build(store, 6)
+    _, hyper_trace, _ = HyperEngine(store).execute(query)
+    _, ocelot_trace, _ = OcelotEngine(store).execute(query)
+    assert len(ocelot_trace.kernels) > len(hyper_trace.kernels)
+
+
+def test_hyper_charges_branches(store):
+    query = build(store, 6)
+    _, trace, _ = HyperEngine(store).execute(query)
+    assert trace.total_branches() > 0
+
+
+def test_gpu_shrinks_ocelot_penalty(store):
+    """Ocelot's bulk tax mostly disappears behind GPU bandwidth."""
+    query = build(store, 1)
+    cpu_ms = OcelotEngine(store, device="cpu-mt").milliseconds(query)
+    gpu_ms = OcelotEngine(store, device="gpu").milliseconds(query)
+    assert gpu_ms < cpu_ms
+
+
+def test_unknown_plan_node_rejected(store):
+    from repro.errors import ExecutionError
+
+    class Weird:
+        pass
+
+    with pytest.raises(ExecutionError):
+        HyperEngine(store).evaluate(Weird())

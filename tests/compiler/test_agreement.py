@@ -1,0 +1,200 @@
+"""Property: the compiling backend agrees with the interpreter bit-for-bit.
+
+The interpreter defines the semantics (paper section 3.2: "a reference
+implementation useful for debugging and verification"); hypothesis builds
+random Voodoo programs — element-wise chains, controlled folds over both
+static and data-derived control vectors, partition/scatter/gather
+pipelines — and every output vector must match exactly, values and
+ε masks alike, under every combination of compiler options.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import CompilerOptions, compile_program
+from repro.core import Builder, StructuredVector
+from repro.interpreter import Interpreter
+
+OPTION_MATRIX = [
+    CompilerOptions(),
+    CompilerOptions(selection="branch-free"),
+    CompilerOptions(virtual_scatter=False),
+    CompilerOptions(fuse=False),
+    CompilerOptions(slot_suppression=False),
+    CompilerOptions(device="gpu"),
+]
+
+
+def assert_agreement(program, store, options=None):
+    expected = Interpreter(store).run(program)
+    for opts in [options] if options else OPTION_MATRIX:
+        got, _ = compile_program(program, opts).run(store)
+        assert set(expected) == set(got)
+        for name, exp_vec in expected.items():
+            got_vec = got[name]
+            assert len(exp_vec) == len(got_vec), (name, opts)
+            for path in exp_vec.paths:
+                em, gm = exp_vec.present(path), got_vec.present(path)
+                assert (em == gm).all(), (name, str(path), opts, "masks differ")
+                ev, gv = exp_vec.attr(path)[em], got_vec.attr(path)[em]
+                assert np.array_equal(ev, gv), (name, str(path), opts)
+
+
+def make_store(groups, values):
+    n = len(groups)
+    return {
+        "t": StructuredVector(
+            n,
+            {".g": np.asarray(groups, dtype=np.int64),
+             ".v": np.asarray(values[:n], dtype=np.int64)},
+        )
+    }
+
+
+groups_st = st.lists(st.integers(0, 4), min_size=1, max_size=80)
+values_st = st.lists(st.integers(-50, 50), min_size=80, max_size=80)
+
+
+@given(groups_st, values_st, st.integers(1, 16))
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_chunked_fold_pipeline(groups, values, grain):
+    """Predicate -> chunk-controlled select -> gather -> two-level fold."""
+    store = make_store(groups, values)
+    b = Builder({"t": store["t"].schema})
+    t = b.load("t")
+    pred = b.greater(t.project(".v"), b.constant(0), out=".sel")
+    ctrl = b.divide(b.range(t), b.constant(grain), out=".chunk")
+    zipped = b.zip(b.zip(t, pred), ctrl)
+    positions = b.fold_select(zipped, sel_kp=".sel", fold_kp=".chunk", out=".pos")
+    payload = b.gather(t, positions, pos_kp=".pos")
+    partial = b.fold_sum(b.zip(payload, ctrl), agg_kp=".v", fold_kp=".chunk", out=".p")
+    total = b.fold_sum(partial, agg_kp=".p", out=".total")
+    assert_agreement(b.build(total=total, positions=positions), store)
+
+
+@given(groups_st, values_st)
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_grouped_aggregation(groups, values):
+    """Partition -> scatter -> per-group folds (Figures 10/11)."""
+    store = make_store(groups, values)
+    b = Builder({"t": store["t"].schema})
+    t = b.load("t")
+    pivots = b.range(5, out=".pv")
+    positions = b.partition(b.project(t, ".g"), pivots, out=".pos")
+    scattered = b.scatter(t, positions)
+    gsum = b.fold_sum(scattered, agg_kp=".v", fold_kp=".g", out=".sum")
+    gmax = b.fold_max(scattered, agg_kp=".v", fold_kp=".g", out=".max")
+    gcnt = b.fold_count(scattered, counted_kp=".v", fold_kp=".g", out=".cnt")
+    assert_agreement(b.build(s=gsum, m=gmax, c=gcnt), store)
+
+
+@given(groups_st, values_st, st.integers(1, 8))
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_filtered_grouped_aggregation(groups, values, grain):
+    """Selection before grouping: ε rows must not contaminate any group."""
+    store = make_store(groups, values)
+    b = Builder({"t": store["t"].schema})
+    t = b.load("t")
+    pred = b.less(t.project(".v"), b.constant(10), out=".sel")
+    ctrl = b.divide(b.range(t), b.constant(grain), out=".chunk")
+    zipped = b.zip(b.zip(t, pred), ctrl)
+    positions = b.fold_select(zipped, sel_kp=".sel", fold_kp=".chunk", out=".pos")
+    filtered = b.gather(t, positions, pos_kp=".pos")
+    pivots = b.range(5, out=".pv")
+    pos2 = b.partition(b.project(filtered, ".g"), pivots, out=".pos")
+    scattered = b.scatter(filtered, pos2)
+    gsum = b.fold_sum(scattered, agg_kp=".v", fold_kp=".g", out=".sum")
+    assert_agreement(b.build(s=gsum), store)
+
+
+@given(groups_st, values_st, st.sampled_from(["sum", "max", "min"]),
+       st.integers(1, 12))
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_static_control_folds(groups, values, fn, grain):
+    """Uniform-run folds via metadata vs the interpreter's materialized runs."""
+    store = make_store(groups, values)
+    b = Builder({"t": store["t"].schema})
+    t = b.load("t")
+    ctrl = b.divide(b.range(t), b.constant(grain), out=".chunk")
+    folded = getattr(b, f"fold_{fn}")(
+        b.zip(t, ctrl), agg_kp=".v", fold_kp=".chunk", out=".r"
+    )
+    assert_agreement(b.build(r=folded), store)
+
+
+@given(groups_st, values_st)
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_data_derived_control_folds(groups, values):
+    """Segmented folds over a *data* column (no static metadata)."""
+    store = make_store(groups, values)
+    b = Builder({"t": store["t"].schema})
+    t = b.load("t")
+    folded = b.fold_sum(t, agg_kp=".v", fold_kp=".g", out=".r")
+    scanned = b.fold_scan(t, s_kp=".v", fold_kp=".g", out=".scan")
+    assert_agreement(b.build(r=folded, scan=scanned), store)
+
+
+@given(groups_st, values_st)
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_elementwise_chains(groups, values):
+    store = make_store(groups, values)
+    b = Builder({"t": store["t"].schema})
+    t = b.load("t")
+    v = t.project(".v")
+    expr = ((v + v) * b.constant(3) - b.constant(7)) % b.constant(11)
+    cmp_ = b.greater_equal(expr, b.constant(0), out=".ge")
+    assert_agreement(b.build(e=expr, c=cmp_), store)
+
+
+@given(st.lists(st.integers(-5, 30), min_size=2, max_size=60))
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_gather_out_of_bounds(positions):
+    """OOB gather positions must become ε identically in both backends."""
+    store = {
+        "t": StructuredVector.single(".v", np.arange(10, dtype=np.int64)),
+        "p": StructuredVector.single(".pos", np.asarray(positions, dtype=np.int64)),
+    }
+    b = Builder({k: v.schema for k, v in store.items()})
+    g = b.gather(b.load("t"), b.load("p"), pos_kp=".pos")
+    total = b.fold_sum(g, agg_kp=".v", out=".s")
+    assert_agreement(b.build(g=g, s=total), store)
+
+
+def test_materialize_chunked_agrees():
+    rng = np.random.default_rng(0)
+    store = make_store(rng.integers(0, 5, 64).tolist(),
+                       rng.integers(-50, 50, 80).tolist())
+    b = Builder({"t": store["t"].schema})
+    t = b.load("t")
+    pred = b.greater(t.project(".v"), b.constant(0), out=".sel")
+    ctrl = b.divide(b.range(t), b.constant(8), out=".chunk")
+    zipped = b.zip(b.zip(t, pred), ctrl)
+    positions = b.fold_select(zipped, sel_kp=".sel", fold_kp=".chunk", out=".pos")
+    buf_ctrl = b.divide(b.range(positions), b.constant(4), out=".buf")
+    buffered = b.materialize(positions, buf_ctrl, control_kp=".buf")
+    payload = b.gather(t, buffered, pos_kp=".pos")
+    total = b.fold_sum(payload, agg_kp=".v", out=".t")
+    assert_agreement(b.build(t=total), store)
+
+
+def test_scatter_materialized_when_consumed_by_gather():
+    """A scatter feeding a gather cannot stay virtual; results still agree."""
+    rng = np.random.default_rng(1)
+    store = make_store(rng.integers(0, 5, 40).tolist(),
+                       rng.integers(-50, 50, 80).tolist())
+    b = Builder({"t": store["t"].schema})
+    t = b.load("t")
+    pivots = b.range(5, out=".pv")
+    positions = b.partition(b.project(t, ".g"), pivots, out=".pos")
+    scattered = b.scatter(t, positions)
+    back = b.gather(scattered, positions, pos_kp=".pos")
+    assert_agreement(b.build(b=back), store)

@@ -1,0 +1,146 @@
+"""Compiler analyses: control-vector metadata and fragment assignment."""
+
+import pytest
+from fractions import Fraction
+
+from repro.compiler import CompilerOptions, FragmentPlan, MetadataPass
+from repro.compiler.fragments import FULL
+from repro.core import Builder, Schema
+from repro.core import ops
+
+SCHEMAS = {"t": Schema({".g": "int64", ".v": "float64"})}
+
+
+def build_fig3(grain=1024):
+    """Figure 3: hierarchical aggregation."""
+    b = Builder(SCHEMAS)
+    t = b.load("t")
+    ids = b.range(t)
+    pids = b.divide(ids, b.constant(grain), out=".part")
+    zipped = b.zip(t, pids)
+    psum = b.fold_sum(zipped, agg_kp=".v", fold_kp=".part", out=".psum")
+    total = b.fold_sum(psum, agg_kp=".psum", out=".total")
+    return b.build(total=total)
+
+
+class TestMetadata:
+    def test_range_is_virtual(self):
+        program = build_fig3()
+        meta = MetadataPass(program)
+        ranges = [n for n in program.order if isinstance(n, ops.Range)]
+        assert all(meta.is_virtual(r) for r in ranges)
+
+    def test_divide_of_range_is_virtual_with_runinfo(self):
+        program = build_fig3(512)
+        meta = MetadataPass(program)
+        divides = [n for n in program.order
+                   if isinstance(n, ops.Binary) and n.fn == "Divide"]
+        assert len(divides) == 1
+        info = meta.info(divides[0], divides[0].out)
+        assert info is not None and info.step == Fraction(1, 512)
+        assert meta.is_virtual(divides[0])
+
+    def test_static_run_length(self):
+        program = build_fig3(512)
+        meta = MetadataPass(program)
+        zips = [n for n in program.order if isinstance(n, ops.Zip)]
+        assert meta.static_run_length(zips[0], zips[0].inputs()[1].out) == 512
+
+    def test_data_column_has_no_metadata(self):
+        b = Builder(SCHEMAS)
+        t = b.load("t")
+        folded = b.fold_sum(t, agg_kp=".v", fold_kp=".g", out=".s")
+        program = b.build(s=folded)
+        meta = MetadataPass(program)
+        fold = [n for n in program.order if isinstance(n, ops.FoldAggregate)][0]
+        assert meta.static_run_length(fold.source, fold.fold_kp) is None
+
+    def test_zip_propagates_metadata(self):
+        program = build_fig3()
+        meta = MetadataPass(program)
+        zips = [n for n in program.order if isinstance(n, ops.Zip)]
+        assert meta.info(zips[0], ops.Keypath(["part"])) is not None \
+            if hasattr(ops, "Keypath") else True
+
+
+class TestFragments:
+    def test_fig3_two_kernels(self):
+        """Partial fold and global fold need a barrier between them."""
+        plan = FragmentPlan(build_fig3(), CompilerOptions())
+        assert plan.kernel_count() == 2
+        assert plan.fragments[0].intent == 1024
+        assert plan.fragments[1].intent == FULL
+
+    def test_partial_fold_output_materialized(self):
+        program = build_fig3()
+        plan = FragmentPlan(program, CompilerOptions())
+        folds = [n for n in program.order if isinstance(n, ops.FoldAggregate)]
+        assert plan.is_materialized(folds[0])   # crosses the barrier
+        assert plan.is_materialized(folds[1])   # program output
+
+    def test_break_closes_fragment(self):
+        b = Builder(SCHEMAS)
+        t = b.load("t")
+        doubled = b.add(t, t, out=".d", left_kp=".v", right_kp=".v")
+        broken = b.break_(doubled)
+        tripled = b.add(broken, broken, out=".t", left_kp=".d", right_kp=".d")
+        plan = FragmentPlan(b.build(t=tripled), CompilerOptions())
+        assert plan.kernel_count() == 2
+
+    def test_fuse_off_one_kernel_per_op(self):
+        program = build_fig3()
+        plan = FragmentPlan(program, CompilerOptions(fuse=False))
+        runtime_ops = [n for n in program.order
+                       if id(n) in plan.fragment_of]
+        assert plan.kernel_count() == len(runtime_ops)
+
+    def test_virtual_scatter_detected(self):
+        b = Builder(SCHEMAS)
+        t = b.load("t")
+        pivots = b.range(8, out=".pv")
+        pos = b.partition(b.project(t, ".g"), pivots, out=".pos")
+        scattered = b.scatter(t, pos)
+        gsum = b.fold_sum(scattered, agg_kp=".v", fold_kp=".g", out=".s")
+        program = b.build(s=gsum)
+        plan = FragmentPlan(program, CompilerOptions())
+        scatter = [n for n in program.order if isinstance(n, ops.Scatter)][0]
+        assert plan.is_virtual_scatter(scatter)
+
+    def test_scatter_to_gather_not_virtual(self):
+        b = Builder(SCHEMAS)
+        t = b.load("t")
+        pivots = b.range(8, out=".pv")
+        pos = b.partition(b.project(t, ".g"), pivots, out=".pos")
+        scattered = b.scatter(t, pos)
+        back = b.gather(scattered, pos, pos_kp=".pos")
+        program = b.build(b=back)
+        plan = FragmentPlan(program, CompilerOptions())
+        scatter = [n for n in program.order if isinstance(n, ops.Scatter)][0]
+        assert not plan.is_virtual_scatter(scatter)
+
+    def test_virtual_scatter_disabled_by_option(self):
+        b = Builder(SCHEMAS)
+        t = b.load("t")
+        pivots = b.range(8, out=".pv")
+        pos = b.partition(b.project(t, ".g"), pivots, out=".pos")
+        scattered = b.scatter(t, pos)
+        gsum = b.fold_sum(scattered, agg_kp=".v", fold_kp=".g", out=".s")
+        program = b.build(s=gsum)
+        plan = FragmentPlan(program, CompilerOptions(virtual_scatter=False))
+        scatter = [n for n in program.order if isinstance(n, ops.Scatter)][0]
+        assert not plan.is_virtual_scatter(scatter)
+
+    def test_independent_predicates_fuse(self):
+        """Comparisons over different columns share one kernel."""
+        b = Builder(SCHEMAS)
+        t = b.load("t")
+        p1 = b.greater(t.project(".v"), b.constant(0.5), out=".p1")
+        p2 = b.equals(t.project(".g"), b.constant(1), out=".p2")
+        both = b.logical_and(p1, p2, out=".p", left_kp=".p1", right_kp=".p2")
+        plan = FragmentPlan(b.build(p=both), CompilerOptions())
+        assert plan.kernel_count() == 1
+
+    def test_describe_mentions_every_fragment(self):
+        plan = FragmentPlan(build_fig3(), CompilerOptions())
+        text = plan.describe()
+        assert "fragment 0" in text and "sequential" in text

@@ -1,0 +1,157 @@
+"""Program structure: topological order, interning, rewriting, validation."""
+
+import pytest
+
+from repro.core import Builder, Schema, kp
+from repro.core import ops
+from repro.core.program import Interner, Program, clone_with_inputs, topological_order
+from repro.errors import ProgramError
+
+
+def schema():
+    return {"t": Schema({".v": "int64"})}
+
+
+def simple_program():
+    b = Builder(schema())
+    t = b.load("t")
+    doubled = b.add(t, t, out=".v2", left_kp=".v", right_kp=".v")
+    total = b.fold_sum(doubled, agg_kp=".v2", out=".s")
+    return b.build(total=total), b
+
+
+class TestTopologicalOrder:
+    def test_inputs_before_consumers(self):
+        program, _ = simple_program()
+        seen = set()
+        for node in program:
+            for child in node.inputs():
+                assert id(child) in seen
+            seen.add(id(node))
+
+    def test_shared_nodes_appear_once(self):
+        program, _ = simple_program()
+        ids = [id(n) for n in program]
+        assert len(ids) == len(set(ids))
+
+    def test_deep_chain_no_recursion_error(self):
+        b = Builder(schema())
+        v = b.load("t")
+        for _ in range(3000):
+            v = b.add(v, b.constant(1), out=".v", left_kp=".v")
+        program = b.build(out=v)
+        assert len(program.order) > 3000
+
+
+class TestInterning:
+    def test_structurally_equal_nodes_shared(self):
+        b = Builder(schema())
+        t = b.load("t")
+        x1 = b.add(t, b.constant(1), out=".x", left_kp=".v")
+        x2 = b.add(t, b.constant(1), out=".x", left_kp=".v")
+        assert x1.node is x2.node
+
+    def test_different_params_not_shared(self):
+        b = Builder(schema())
+        t = b.load("t")
+        x1 = b.add(t, b.constant(1), out=".x", left_kp=".v")
+        x2 = b.add(t, b.constant(2), out=".x", left_kp=".v")
+        assert x1.node is not x2.node
+
+    def test_interner_len(self):
+        interner = Interner()
+        a = interner.intern(ops.Load(name="t"))
+        b = interner.intern(ops.Load(name="t"))
+        assert a is b
+        assert len(interner) == 1
+
+
+class TestProgram:
+    def test_requires_outputs(self):
+        with pytest.raises(ProgramError):
+            Program({})
+
+    def test_consumer_counts(self):
+        program, _ = simple_program()
+        load = program.loads()[0]
+        # Load feeds both sides of the Add
+        assert program.consumers(load) == 2
+        assert program.is_shared(load)
+
+    def test_duplicate_persist_rejected(self):
+        b = Builder(schema())
+        t = b.load("t")
+        p1 = b.persist("x", t)
+        # second persist with same name is a distinct node (different source)
+        q = b.fold_sum(t, agg_kp=".v", out=".s")
+        p2 = b.persist("x", q)
+        with pytest.raises(ProgramError):
+            b.build(a=p1, b=p2)
+
+    def test_rewrite_identity(self):
+        program, _ = simple_program()
+        rewritten = program.rewrite(lambda node, inputs: None)
+        assert len(rewritten.order) == len(program.order)
+
+    def test_rewrite_replaces(self):
+        program, _ = simple_program()
+
+        def swap(node, inputs):
+            if isinstance(node, ops.Binary) and node.fn == "Add":
+                return ops.Binary(fn="Multiply", out=node.out, left=inputs[0],
+                                  left_kp=node.left_kp, right=inputs[1],
+                                  right_kp=node.right_kp)
+            return None
+
+        rewritten = program.rewrite(swap)
+        fns = [n.fn for n in rewritten.order if isinstance(n, ops.Binary)]
+        assert fns == ["Multiply"]
+
+
+class TestCloneWithInputs:
+    def test_same_inputs_returns_original(self):
+        load = ops.Load(name="t")
+        agg = ops.FoldAggregate(source=load, fold_kp=None, fn="sum",
+                                out=kp(".s"), agg_kp=kp(".v"))
+        assert clone_with_inputs(agg, (load,)) is agg
+
+    def test_new_inputs_builds_copy(self):
+        load1, load2 = ops.Load(name="t"), ops.Load(name="u")
+        agg = ops.FoldAggregate(source=load1, fold_kp=None, fn="sum",
+                                out=kp(".s"), agg_kp=kp(".v"))
+        clone = clone_with_inputs(agg, (load2,))
+        assert clone.source is load2
+        assert clone.fn == "sum"
+
+    def test_wrong_arity_rejected(self):
+        load = ops.Load(name="t")
+        with pytest.raises(ProgramError):
+            clone_with_inputs(load, (load,))
+
+
+class TestOpBasics:
+    def test_categories(self):
+        assert ops.Load(name="x").category == "maintenance"
+        assert ops.Range(out=kp(".i"), start=0, sizeref=None, size=5, step=1).category == "shape"
+
+    def test_unknown_binary_rejected(self):
+        with pytest.raises(ProgramError):
+            ops.Binary(fn="Frobnicate", out=kp(".x"), left=ops.Load(name="t"),
+                       left_kp=kp(".v"), right=ops.Load(name="t"), right_kp=kp(".v"))
+
+    def test_range_requires_exactly_one_size(self):
+        with pytest.raises(ProgramError):
+            ops.Range(out=kp(".i"), start=0, sizeref=None, size=None, step=1)
+        with pytest.raises(ProgramError):
+            ops.Range(out=kp(".i"), start=0, sizeref=ops.Load(name="t"), size=3, step=1)
+
+    def test_zip_requires_paired_out_kp(self):
+        load = ops.Load(name="t")
+        with pytest.raises(ProgramError):
+            ops.Zip(out1=kp(".a"), left=load, kp1=None, out2=None, right=load, kp2=None)
+
+    def test_walk_visits_once(self):
+        program, _ = simple_program()
+        root = list(program.outputs.values())[0]
+        nodes = list(root.walk())
+        assert len(nodes) == len({id(n) for n in nodes})

@@ -1,0 +1,136 @@
+"""Structured Vector behaviour: ε masks, zip/project/take, runinfo."""
+
+import numpy as np
+import pytest
+
+from repro.core import Schema, StructuredVector, kp
+from repro.core.controlvector import RunInfo
+from repro.errors import SchemaError, VoodooError
+from fractions import Fraction
+
+
+@pytest.fixture
+def vec():
+    return StructuredVector(
+        4,
+        {".a": np.array([1, 2, 3, 4], dtype=np.int64),
+         ".b": np.array([1.0, 2.0, 3.0, 4.0])},
+        {".b": np.array([True, False, True, True])},
+    )
+
+
+class TestConstruction:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            StructuredVector(3, {".a": np.zeros(4, dtype=np.int64)})
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(VoodooError):
+            StructuredVector(-1, {})
+
+    def test_bad_mask_shape_rejected(self):
+        with pytest.raises(SchemaError):
+            StructuredVector(
+                2, {".a": np.zeros(2, dtype=np.int64)},
+                {".a": np.array([True])},
+            )
+
+    def test_all_true_mask_dropped(self, vec):
+        assert vec.is_dense(".a")
+        dense = StructuredVector(
+            2, {".x": np.zeros(2, dtype=np.int64)}, {".x": np.ones(2, dtype=bool)}
+        )
+        assert dense.is_dense(".x")
+
+    def test_from_arrays(self):
+        v = StructuredVector.from_arrays(x=np.arange(3), y=np.zeros(3))
+        assert set(map(str, v.paths)) == {".x", ".y"}
+
+    def test_from_arrays_length_mismatch(self):
+        with pytest.raises(SchemaError):
+            StructuredVector.from_arrays(x=np.arange(3), y=np.zeros(2))
+
+    def test_empty_factory(self):
+        v = StructuredVector.empty(3, Schema({".a": "int64"}))
+        assert not v.present(".a").any()
+
+
+class TestAccess:
+    def test_attr_and_present(self, vec):
+        assert vec.attr(".a").tolist() == [1, 2, 3, 4]
+        assert vec.present(".b").tolist() == [True, False, True, True]
+
+    def test_missing_attr(self, vec):
+        with pytest.raises(SchemaError):
+            vec.attr(".zz")
+
+    def test_schema(self, vec):
+        assert vec.schema[".a"] == np.dtype(np.int64)
+
+    def test_to_records_none_for_empty(self, vec):
+        records = vec.to_records()
+        assert records[1][".b"] is None
+        assert records[0][".b"] == 1.0
+
+
+class TestStructuralOps:
+    def test_project_leaf(self, vec):
+        p = vec.project(".a", ".x")
+        assert list(map(str, p.paths)) == [".x"]
+        assert p.attr(".x").tolist() == [1, 2, 3, 4]
+
+    def test_project_preserves_mask(self, vec):
+        p = vec.project(".b", ".y")
+        assert p.present(".y").tolist() == [True, False, True, True]
+
+    def test_with_attr_replaces(self, vec):
+        v2 = vec.with_attr(".a", np.array([9, 9, 9, 9], dtype=np.int64))
+        assert v2.attr(".a").tolist() == [9, 9, 9, 9]
+        assert vec.attr(".a").tolist() == [1, 2, 3, 4]  # original untouched
+
+    def test_without_attr(self, vec):
+        v2 = vec.without_attr(".b")
+        assert list(map(str, v2.paths)) == [".a"]
+
+    def test_without_last_attr_rejected(self, vec):
+        with pytest.raises(SchemaError):
+            vec.without_attr(".a").without_attr(".a")
+
+    def test_zip_truncates_to_min(self, vec):
+        other = StructuredVector.single(".c", np.arange(2))
+        z = vec.zip(other)
+        assert len(z) == 2
+
+    def test_zip_duplicate_attr_rejected(self, vec):
+        with pytest.raises(SchemaError):
+            vec.zip(vec)
+
+    def test_take_oob_becomes_empty(self, vec):
+        t = vec.take(np.array([0, 10, -1, 3]))
+        assert t.present(".a").tolist() == [True, False, False, True]
+        assert t.attr(".a")[0] == 1 and t.attr(".a")[3] == 4
+
+    def test_take_propagates_source_mask(self, vec):
+        t = vec.take(np.array([1, 2]))
+        assert t.present(".b").tolist() == [False, True]
+
+    def test_head(self, vec):
+        assert len(vec.head(2)) == 2
+        assert len(vec.head(10)) == 4
+
+
+class TestRunInfo:
+    def test_runinfo_attached(self):
+        info = RunInfo(0, Fraction(1))
+        v = StructuredVector(
+            3, {".id": np.arange(3, dtype=np.int64)}, runinfo={".id": info}
+        )
+        assert v.runinfo_for(".id") == info
+        assert v.runinfo_for(".id") is not None
+
+    def test_runinfo_unknown_attr_rejected(self):
+        with pytest.raises(SchemaError):
+            StructuredVector(
+                2, {".a": np.zeros(2, dtype=np.int64)},
+                runinfo={".b": RunInfo(0, Fraction(1))},
+            )

@@ -1,0 +1,177 @@
+"""Interpreter backend: operator evaluation over Structured Vectors."""
+
+import numpy as np
+import pytest
+
+from repro.core import Builder, Schema, StructuredVector
+from repro.errors import ExecutionError
+from repro.interpreter import Interpreter
+from repro.interpreter.engine import apply_binary
+
+
+@pytest.fixture
+def store():
+    return {
+        "t": StructuredVector(
+            6,
+            {".g": np.array([0, 0, 1, 1, 2, 2], dtype=np.int64),
+             ".v": np.array([1.0, 2.0, 3.0, 4.0, 5.0, 6.0])},
+        )
+    }
+
+
+@pytest.fixture
+def b(store):
+    return Builder({name: vec.schema for name, vec in store.items()})
+
+
+def run(b, store, **outputs):
+    program = b.build(**outputs)
+    return Interpreter(store).run(program)
+
+
+class TestMaintenance:
+    def test_load_missing(self, b):
+        v = b.load("t")
+        with pytest.raises(ExecutionError):
+            Interpreter({}).run(b.build(out=v))
+
+    def test_persist_visible_in_outputs_and_storage(self, b, store):
+        t = b.load("t")
+        p = b.persist("copy", t)
+        interp = Interpreter(store)
+        outputs = interp.run(b.build(out=p))
+        assert "copy" in outputs
+        # persisted vectors become loadable afterwards
+        b2 = Builder({"copy": store["t"].schema})
+        again = Interpreter({**store, "copy": outputs["copy"]}).run(
+            b2.build(out=b2.load("copy"))
+        )
+        assert len(again["out"]) == 6
+
+
+class TestShape:
+    def test_range_with_sizeref(self, b, store):
+        out = run(b, store, out=b.range(b.load("t")))["out"]
+        assert out.attr(".id").tolist() == [0, 1, 2, 3, 4, 5]
+
+    def test_range_literal_size_and_step(self, b, store):
+        out = run(b, store, out=b.range(4, start=10, step=2, out=".r"))["out"]
+        assert out.attr(".r").tolist() == [10, 12, 14, 16]
+
+    def test_constant_is_length_one(self, b, store):
+        out = run(b, store, out=b.constant(5))["out"]
+        assert len(out) == 1
+
+    def test_cross(self, b, store):
+        pairs = run(b, store, out=b.cross(b.constant(0), b.load("t")))["out"]
+        assert len(pairs) == 6
+        assert pairs.attr(".pos2").tolist() == [0, 1, 2, 3, 4, 5]
+
+
+class TestElementwise:
+    def test_broadcast_constant(self, b, store):
+        t = b.load("t")
+        out = run(b, store, out=b.multiply(t.project(".v"), b.constant(2.0), out=".d"))["out"]
+        assert out.attr(".d").tolist() == [2.0, 4.0, 6.0, 8.0, 10.0, 12.0]
+
+    def test_mask_intersection(self, b, store):
+        t = b.load("t")
+        pos = b.fold_select(
+            b.zip(t, b.greater(t.project(".v"), b.constant(3.0), out=".s")),
+            sel_kp=".s", out=".pos",
+        )
+        g = b.gather(t, pos, pos_kp=".pos")
+        added = b.add(g, g, out=".sum", left_kp=".v", right_kp=".v")
+        out = run(b, store, out=added)["out"]
+        assert out.present(".sum").sum() == 3
+
+    def test_divide_by_zero_defined(self):
+        a = np.array([4, 5], dtype=np.int64)
+        z = np.array([0, 2], dtype=np.int64)
+        assert apply_binary("Divide", a, z).tolist()[1] == 2
+
+    def test_float_divide_by_zero(self):
+        a = np.array([1.0])
+        z = np.array([0.0])
+        assert apply_binary("Divide", a, z)[0] == 0.0
+
+    def test_logical_ops_on_ints(self):
+        a = np.array([0, 2, 5], dtype=np.int64)
+        c = np.array([1, 0, 7], dtype=np.int64)
+        assert apply_binary("LogicalAnd", a, c).tolist() == [False, False, True]
+        assert apply_binary("LogicalOr", a, c).tolist() == [True, True, True]
+
+    def test_bitshift(self):
+        a = np.array([1, 2], dtype=np.int64)
+        s = np.array([3, 1], dtype=np.int64)
+        assert apply_binary("BitShift", a, s).tolist() == [8, 4]
+
+    def test_unknown_fn_rejected(self):
+        with pytest.raises(ExecutionError):
+            apply_binary("Nope", np.zeros(1), np.zeros(1))
+
+    def test_negate_unsigned_widens(self, b):
+        store = {"u": StructuredVector.single(".x", np.array([1, 2], dtype=np.uint32))}
+        b = Builder({"u": store["u"].schema})
+        out = Interpreter(store).run(
+            b.build(out=b.negate(b.load("u"), out=".n", source_kp=".x"))
+        )["out"]
+        assert out.attr(".n").tolist() == [-1, -2]
+
+
+class TestRunInfoPropagation:
+    def test_divide_range_keeps_metadata(self, b, store):
+        ids = b.range(b.load("t"))
+        pids = b.divide(ids, b.constant(2), out=".p")
+        out = run(b, store, out=pids)["out"]
+        info = out.runinfo_for(".p")
+        assert info is not None
+        assert info.run_length(6) == 2
+
+    def test_data_vector_has_no_metadata(self, b, store):
+        t = b.load("t")
+        out = run(b, store, out=b.add(t, b.constant(1), out=".x", left_kp=".g"))["out"]
+        assert out.runinfo_for(".x") is None
+
+
+class TestUpsertScatterGather:
+    def test_upsert_broadcasts_scalar(self, b, store):
+        t = b.load("t")
+        out = run(b, store, out=b.upsert(t, ".k", b.constant(9)))["out"]
+        assert out.attr(".k").tolist() == [9] * 6
+
+    def test_upsert_shorter_value_rejected(self, b, store):
+        t = b.load("t")
+        short = b.range(2, out=".r")
+        with pytest.raises(ExecutionError):
+            run(b, store, out=b.upsert(t, ".k", short, ".r"))
+
+    def test_scatter_gather_roundtrip(self, b, store):
+        t = b.load("t")
+        perm = b.range(t, start=5, step=-1, out=".pos") if False else None
+        # build explicit reversed positions via arithmetic: pos = 5 - id
+        ids = b.range(t)
+        pos = b.subtract(b.constant(5), ids, out=".pos", right_kp=".id")
+        scattered = b.scatter(t, pos, pos_kp=".pos")
+        back = b.gather(scattered, pos, pos_kp=".pos")
+        out = run(b, store, out=back)["out"]
+        assert out.attr(".v").tolist() == store["t"].attr(".v").tolist()
+
+
+class TestGroupedAggregation:
+    def test_partition_scatter_fold(self, b, store):
+        t = b.load("t")
+        pivots = b.range(3, out=".pv")
+        pos = b.partition(b.project(t, ".g"), pivots, out=".pos")
+        scattered = b.scatter(t, pos)
+        gsum = b.fold_sum(scattered, agg_kp=".v", fold_kp=".g", out=".s")
+        out = run(b, store, out=gsum)["out"]
+        sums = out.attr(".s")[out.present(".s")]
+        assert sums.tolist() == [3.0, 7.0, 11.0]
+
+    def test_break_and_materialize_are_identity(self, b, store):
+        t = b.load("t")
+        out1 = run(b, store, out=b.break_(t))["out"]
+        out2 = run(b, store, out=b.materialize(t))["out"]
+        assert out1.attr(".v").tolist() == out2.attr(".v").tolist()

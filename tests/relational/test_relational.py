@@ -1,0 +1,262 @@
+"""Relational layer: expressions, plans, translation, engine, SQL."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SQLError, TranslationError
+from repro.relational import (
+    AggSpec,
+    Col,
+    Filter,
+    GroupBy,
+    IfThenElse,
+    InSet,
+    Join,
+    KeySpec,
+    Lit,
+    Map,
+    Membership,
+    Query,
+    ScalarOf,
+    Scan,
+    SemiJoin,
+    VoodooEngine,
+    parse_sql,
+)
+from repro.relational.expressions import columns_used
+from repro.storage import ColumnStore, Table
+from repro.core import StructuredVector
+
+
+@pytest.fixture(scope="module")
+def store():
+    rng = np.random.default_rng(5)
+    n = 2000
+    s = ColumnStore()
+    s.add(Table.from_arrays(
+        "fact",
+        fk=rng.integers(1, 41, n).astype(np.int64),
+        v=rng.integers(0, 100, n).astype(np.int64),
+        w=np.round(rng.random(n), 3),
+    ))
+    s.add(Table.from_arrays(
+        "dim",
+        pk=np.arange(1, 41, dtype=np.int64),
+        g=(np.arange(40) % 4).astype(np.int64),
+        label=np.array([f"g{k % 4}" for k in range(40)], dtype=object),
+    ))
+    return s
+
+
+@pytest.fixture(scope="module")
+def engine(store):
+    return VoodooEngine(store)
+
+
+def arrays(store):
+    fk = store.table("fact").column("fk").data
+    v = store.table("fact").column("v").data
+    w = store.table("fact").column("w").data
+    g = store.table("dim").column("g").data
+    return fk, v, w, g
+
+
+class TestExpressions:
+    def test_operator_sugar_builds_tree(self):
+        expr = (Col("a") + 1) * Col("b") > 3
+        assert columns_used(expr) == {"a", "b"}
+
+    def test_between(self):
+        expr = Col("x").between(1, 5)
+        assert columns_used(expr) == {"x"}
+
+    def test_inset_requires_values(self):
+        with pytest.raises(ValueError):
+            InSet(Col("x"), ())
+
+    def test_wrap_rejects_strings(self):
+        with pytest.raises(TypeError):
+            Col("x") + "nope"
+
+    def test_columns_used_nested(self):
+        expr = IfThenElse(Col("c") > 0, Col("t"), Col("e") * 2)
+        assert columns_used(expr) == {"c", "t", "e"}
+
+
+class TestPlans:
+    def test_join_needs_pull(self, store):
+        with pytest.raises(TranslationError):
+            Join(Scan("fact"), Scan("dim"), Col("fk"), Col("pk"), {}, domain=40)
+
+    def test_groupby_needs_aggs(self):
+        with pytest.raises(TranslationError):
+            GroupBy(Scan("fact"), keys=[], aggs={})
+
+    def test_keyspec_positive_card(self):
+        with pytest.raises(TranslationError):
+            KeySpec("k", Col("k"), card=0)
+
+    def test_bad_agg_fn(self):
+        with pytest.raises(TranslationError):
+            AggSpec("median", Col("x"))
+
+
+class TestEngineBasics:
+    def test_filter_and_project(self, engine, store):
+        fk, v, w, g = arrays(store)
+        q = Query(plan=Filter(Scan("fact"), Col("v") > Lit(90)), select=["v"])
+        res = engine.query(q)
+        assert len(res) == int((v > 90).sum())
+        assert (res.column("v") > 90).all()
+
+    def test_map_expression(self, engine, store):
+        fk, v, w, g = arrays(store)
+        plan = Map(Filter(Scan("fact"), Col("v").eq(Lit(7))), {"d": Col("v") * 2})
+        res = engine.query(Query(plan=plan, select=["d"]))
+        assert (res.column("d") == 14).all()
+
+    def test_global_aggregate(self, engine, store):
+        fk, v, w, g = arrays(store)
+        plan = GroupBy(Scan("fact"), keys=[], aggs={
+            "s": AggSpec("sum", Col("v")),
+            "c": AggSpec("count"),
+            "m": AggSpec("max", Col("v")),
+            "a": AggSpec("avg", Col("w")),
+        })
+        row = engine.query(Query(plan=plan, select=["s", "c", "m", "a"])).to_dicts()[0]
+        assert row["s"] == v.sum()
+        assert row["c"] == len(v)
+        assert row["m"] == v.max()
+        assert row["a"] == pytest.approx(w.mean())
+
+    def test_grouped_aggregate_with_join(self, engine, store):
+        fk, v, w, g = arrays(store)
+        plan = Join(Scan("fact"), Scan("dim"), Col("fk"), Col("pk"),
+                    {"g": "g"}, domain=40, offset=1)
+        plan = GroupBy(plan, keys=[KeySpec("g", Col("g"), card=4)],
+                       aggs={"s": AggSpec("sum", Col("v"))})
+        res = engine.query(Query(plan=plan, select=["g", "s"],
+                                 order_by=[("g", False)]))
+        expect = [int(v[g[fk - 1] == k].sum()) for k in range(4)]
+        assert res.column("s").tolist() == expect
+
+    def test_semijoin(self, engine, store):
+        fk, v, w, g = arrays(store)
+        even_dims = Filter(Scan("dim"), Col("g").eq(Lit(0)))
+        plan = SemiJoin(Scan("fact"), even_dims, Col("fk"), Col("pk"), domain=40,
+                        offset=1)
+        plan = GroupBy(plan, keys=[], aggs={"c": AggSpec("count")})
+        row = engine.query(Query(plan=plan, select=["c"])).to_dicts()[0]
+        assert row["c"] == int((g[fk - 1] == 0).sum())
+
+    def test_anti_semijoin(self, engine, store):
+        fk, v, w, g = arrays(store)
+        even_dims = Filter(Scan("dim"), Col("g").eq(Lit(0)))
+        plan = SemiJoin(Scan("fact"), even_dims, Col("fk"), Col("pk"), domain=40,
+                        offset=1, negated=True)
+        plan = GroupBy(plan, keys=[], aggs={"c": AggSpec("count")})
+        row = engine.query(Query(plan=plan, select=["c"])).to_dicts()[0]
+        assert row["c"] == int((g[fk - 1] != 0).sum())
+
+    def test_scalar_subquery(self, engine, store):
+        fk, v, w, g = arrays(store)
+        mean_plan = GroupBy(Scan("fact"), keys=[], aggs={"m": AggSpec("avg", Col("v"))})
+        plan = Filter(Scan("fact"), Col("v") > ScalarOf(mean_plan, "m"))
+        plan = GroupBy(plan, keys=[], aggs={"c": AggSpec("count")})
+        row = engine.query(Query(plan=plan, select=["c"])).to_dicts()[0]
+        assert row["c"] == int((v > v.mean()).sum())
+
+    def test_membership(self, engine, store):
+        fk, v, w, g = arrays(store)
+        table = np.zeros(41, dtype=bool)
+        table[[3, 5, 7]] = True
+        from repro.core.keypath import Keypath
+        store.add_aux("aux:test", StructuredVector.single(Keypath(["flag"]), table))
+        plan = Filter(Scan("fact"), Membership(Col("fk"), "aux:test"))
+        plan = GroupBy(plan, keys=[], aggs={"c": AggSpec("count")})
+        row = engine.query(Query(plan=plan, select=["c"])).to_dicts()[0]
+        assert row["c"] == int(np.isin(fk, [3, 5, 7]).sum())
+
+    def test_order_by_and_limit(self, engine, store):
+        plan = GroupBy(Scan("fact"), keys=[KeySpec("fk", Col("fk"), card=40, offset=1)],
+                       aggs={"s": AggSpec("sum", Col("v"))})
+        res = engine.query(Query(plan=plan, select=["fk", "s"],
+                                 order_by=[("s", True)], limit=5))
+        assert len(res) == 5
+        s = res.column("s")
+        assert all(s[i] >= s[i + 1] for i in range(4))
+
+    def test_decode(self, engine, store):
+        plan = Join(Scan("fact"), Scan("dim"), Col("fk"), Col("pk"),
+                    {"label": "label"}, domain=40, offset=1)
+        plan = GroupBy(plan, keys=[KeySpec("label", Col("label"), card=4)],
+                       aggs={"c": AggSpec("count")})
+        res = engine.query(Query(plan=plan, select=["label", "c"],
+                                 decode={"label": ("dim", "label")}))
+        assert set(res.column("label")) <= {"g0", "g1", "g2", "g3"}
+
+    def test_missing_select_column(self, engine):
+        q = Query(plan=Scan("fact"), select=["nope"])
+        with pytest.raises(TranslationError):
+            engine.query(q)
+
+    def test_unknown_table(self, engine):
+        with pytest.raises(TranslationError):
+            engine.query(Query(plan=Scan("ghost"), select=["x"]))
+
+    def test_cost_report_attached(self, engine):
+        q = Query(plan=GroupBy(Scan("fact"), keys=[],
+                               aggs={"s": AggSpec("sum", Col("v"))}),
+                  select=["s"])
+        result = engine.execute(q)
+        assert result.milliseconds > 0
+        assert result.compiled.kernel_count() >= 1
+
+
+class TestSQL:
+    def test_simple_select(self, engine, store):
+        fk, v, w, g = arrays(store)
+        q = parse_sql("SELECT sum(v) AS s, count(*) AS c FROM fact WHERE v > 50",
+                      store)
+        row = engine.query(q).to_dicts()[0]
+        assert row["s"] == v[v > 50].sum()
+        assert row["c"] == int((v > 50).sum())
+
+    def test_group_by_with_strings(self, engine, store):
+        q = parse_sql(
+            "SELECT label, count(*) AS c FROM dim GROUP BY label ORDER BY label",
+            store,
+        )
+        res = engine.query(q)
+        assert res.column("label").tolist() == ["g0", "g1", "g2", "g3"]
+        assert res.column("c").tolist() == [10, 10, 10, 10]
+
+    def test_string_predicate(self, engine, store):
+        q = parse_sql("SELECT count(*) AS c FROM dim WHERE label = 'g1'", store)
+        assert engine.query(q).to_dicts()[0]["c"] == 10
+
+    def test_in_and_between(self, engine, store):
+        fk, v, w, g = arrays(store)
+        q = parse_sql(
+            "SELECT count(*) AS c FROM fact WHERE fk IN (1, 2, 3) AND v BETWEEN 10 AND 20",
+            store,
+        )
+        expect = int((np.isin(fk, [1, 2, 3]) & (v >= 10) & (v <= 20)).sum())
+        assert engine.query(q).to_dicts()[0]["c"] == expect
+
+    def test_arithmetic_projection(self, engine, store):
+        q = parse_sql("SELECT v * 2 + 1 AS d FROM fact WHERE v = 10 LIMIT 3", store)
+        res = engine.query(q)
+        assert (res.column("d") == 21).all()
+
+    def test_parse_errors(self, store):
+        with pytest.raises(SQLError):
+            parse_sql("SELECT FROM fact", store)
+        with pytest.raises(SQLError):
+            parse_sql("SELECT v FROM fact WHERE v >", store)
+        with pytest.raises(SQLError):
+            parse_sql("SELECT v FROM fact trailing garbage ;;", store)
+
+    def test_group_by_without_aggregates_rejected(self, store):
+        with pytest.raises(SQLError):
+            parse_sql("SELECT v FROM fact GROUP BY v", store)

@@ -1,0 +1,128 @@
+"""Translator internals: column pruning, positional joins, error paths."""
+
+import numpy as np
+import pytest
+
+from repro.core import ops
+from repro.errors import TranslationError
+from repro.relational import (
+    AggSpec, Col, Filter, GroupBy, Join, KeySpec, Lit, Map, Query, Scan,
+)
+from repro.relational.translate import Translator, collect_needed_columns
+from repro.storage import ColumnStore, Table
+
+
+@pytest.fixture(scope="module")
+def store():
+    rng = np.random.default_rng(2)
+    s = ColumnStore()
+    s.add(Table.from_arrays(
+        "wide",
+        k=np.arange(1, 101, dtype=np.int64),
+        a=rng.integers(0, 10, 100).astype(np.int64),
+        b=rng.integers(0, 10, 100).astype(np.int64),
+        unused1=rng.random(100),
+        unused2=rng.random(100),
+        unused3=rng.random(100),
+    ))
+    s.add(Table.from_arrays(
+        "dim",
+        pk=np.arange(1, 11, dtype=np.int64),
+        x=np.arange(10, dtype=np.int64),
+    ))
+    s.add(Table.from_arrays(  # non-dense key: forces the hash-build path
+        "sparse",
+        sk=np.array([3, 7, 11, 19], dtype=np.int64),
+        y=np.array([30, 70, 110, 190], dtype=np.int64),
+    ))
+    return s
+
+
+class TestColumnPruning:
+    def test_needed_set(self):
+        q = Query(
+            plan=Filter(Scan("wide"), Col("a") > Lit(5)),
+            select=["b"],
+        )
+        needed = collect_needed_columns(q)
+        assert needed == {"a", "b"}
+
+    def test_unused_columns_never_loaded(self, store):
+        q = Query(plan=Filter(Scan("wide"), Col("a") > Lit(5)), select=["b"])
+        program = Translator(store).translate_query(q)
+        # Every Project out of the Load must reference only needed columns
+        projected = {
+            str(node.kp) for node in program.order if isinstance(node, ops.Project)
+            and isinstance(node.source, ops.Load)
+        }
+        assert ".unused1" not in projected
+        assert projected <= {".a", ".b"}
+
+    def test_join_pull_columns_counted(self, store):
+        plan = Join(Scan("wide"), Scan("dim"), Col("a"), Col("pk"),
+                    {"x": "x"}, domain=10, offset=1)
+        q = Query(plan=plan, select=["x"])
+        needed = collect_needed_columns(q)
+        assert {"a", "pk", "x"} <= needed
+
+
+class TestJoinStrategies:
+    def test_dense_pk_uses_positional_gather(self, store):
+        plan = Join(Scan("wide"), Scan("dim"), Col("a") + Lit(1), Col("pk"),
+                    {"x": "x"}, domain=10, offset=1)
+        program = Translator(store).translate_query(Query(plan=plan, select=["x"]))
+        # positional path: no Scatter (no hash-table build)
+        assert not any(isinstance(n, ops.Scatter) for n in program.order)
+
+    def test_sparse_key_builds_hash_table(self, store):
+        plan = Join(Scan("wide"), Scan("sparse"), Col("k"), Col("sk"),
+                    {"y": "y"}, domain=20, offset=0)
+        program = Translator(store).translate_query(Query(plan=plan, select=["y"]))
+        assert any(isinstance(n, ops.Scatter) for n in program.order)
+
+    def test_sparse_join_correct(self, store):
+        from repro.relational import VoodooEngine
+        plan = Join(Scan("wide"), Scan("sparse"), Col("k"), Col("sk"),
+                    {"y": "y"}, domain=20, offset=0)
+        plan = GroupBy(plan, keys=[], aggs={"s": AggSpec("sum", Col("y"))})
+        row = VoodooEngine(store).query(Query(plan=plan, select=["s"])).to_dicts()[0]
+        # keys 3, 7, 11, 19 each appear once in wide.k (1..100)
+        assert row["s"] == 30 + 70 + 110 + 190
+
+
+class TestErrors:
+    def test_unknown_column(self, store):
+        q = Query(plan=Filter(Scan("wide"), Col("zz") > Lit(0)), select=["a"])
+        with pytest.raises(TranslationError):
+            Translator(store).translate_query(q)
+
+    def test_group_key_must_be_column(self, store):
+        plan = GroupBy(Scan("wide"),
+                       keys=[KeySpec("e", Col("a") + Lit(1), card=11)],
+                       aggs={"c": AggSpec("count")})
+        with pytest.raises(TranslationError):
+            Translator(store).translate_query(Query(plan=plan, select=["e", "c"]))
+
+    def test_computed_key_via_map_works(self, store):
+        from repro.relational import VoodooEngine
+        plan = Map(Scan("wide"), {"e": Col("a") + Lit(1)})
+        plan = GroupBy(plan, keys=[KeySpec("e", Col("e"), card=11)],
+                       aggs={"c": AggSpec("count")})
+        res = VoodooEngine(store).query(
+            Query(plan=plan, select=["e", "c"], order_by=[("e", False)])
+        )
+        assert res.column("c").sum() == 100
+
+    def test_unknown_plan_type(self, store):
+        class Strange:
+            pass
+        with pytest.raises(TranslationError):
+            Translator(store).translate(Strange())
+
+    def test_shared_subplan_translated_once(self, store):
+        shared = Filter(Scan("wide"), Col("a") > Lit(2))
+        plan_a = GroupBy(shared, keys=[], aggs={"s": AggSpec("sum", Col("a"))})
+        translator = Translator(store)
+        rel1 = translator.translate(plan_a)
+        rel2 = translator.translate(plan_a)
+        assert rel1.node is rel2.node

@@ -1,0 +1,151 @@
+"""Column store, string dictionaries, persistence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import Column, ColumnStore, StringDictionary, Table, load, save
+
+
+class TestStringDictionary:
+    def test_order_preserving(self):
+        d = StringDictionary(["pear", "apple", "mango"])
+        assert d.code("apple") < d.code("mango") < d.code("pear")
+
+    def test_encode_decode_roundtrip(self):
+        values = ["b", "a", "c", "a"]
+        d, codes = StringDictionary.from_column(values)
+        assert d.decode(codes) == values
+
+    def test_unknown_string(self):
+        d = StringDictionary(["a"])
+        with pytest.raises(StorageError):
+            d.code("z")
+        with pytest.raises(StorageError):
+            d.encode(["z"])
+
+    def test_bad_code(self):
+        d = StringDictionary(["a"])
+        with pytest.raises(StorageError):
+            d.value(5)
+
+    def test_codes_like(self):
+        d = StringDictionary(["forest green", "misty rose", "forest khaki"])
+        codes = d.codes_like("forest%")
+        assert d.decode(codes) == ["forest green", "forest khaki"]
+
+    def test_codes_like_contains(self):
+        d = StringDictionary(["dark green", "light blue", "green tea"])
+        assert len(d.codes_like("%green%")) == 2
+
+    def test_membership_table(self):
+        d = StringDictionary(["a", "b", "c"])
+        table = d.membership_table(d.codes_in(["a", "c"]))
+        assert table.tolist() == [True, False, True]
+
+    def test_contains(self):
+        d = StringDictionary(["x"])
+        assert "x" in d and "y" not in d
+
+
+class TestTable:
+    def test_from_arrays_encodes_strings(self):
+        t = Table.from_arrays("t", name=np.array(["b", "a"], dtype=object),
+                              v=np.array([1, 2]))
+        assert t.column("name").dictionary is not None
+        assert t.column("name").data.dtype == np.int64
+
+    def test_length_mismatch(self):
+        with pytest.raises(StorageError):
+            Table("t", [Column("a", np.zeros(2)), Column("b", np.zeros(3))])
+
+    def test_duplicate_columns(self):
+        with pytest.raises(StorageError):
+            Table("t", [Column("a", np.zeros(2)), Column("a", np.zeros(2))])
+
+    def test_to_vector(self):
+        t = Table.from_arrays("t", v=np.arange(4))
+        vec = t.to_vector()
+        assert len(vec) == 4 and vec.attr(".v").tolist() == [0, 1, 2, 3]
+
+    def test_missing_column(self):
+        t = Table.from_arrays("t", v=np.arange(4))
+        with pytest.raises(StorageError):
+            t.column("w")
+
+    def test_dictionary_of_numeric_column_rejected(self):
+        t = Table.from_arrays("t", v=np.arange(4))
+        with pytest.raises(StorageError):
+            t.dictionary("v")
+
+    def test_decoded(self):
+        t = Table.from_arrays("t", s=np.array(["y", "x"], dtype=object))
+        assert t.column("s").decoded() == ["y", "x"]
+
+
+class TestColumnStore:
+    def test_add_and_lookup(self):
+        store = ColumnStore()
+        store.add(Table.from_arrays("t", v=np.arange(3)))
+        assert "t" in store
+        assert len(store.table("t")) == 3
+
+    def test_duplicate_table(self):
+        store = ColumnStore()
+        store.add(Table.from_arrays("t", v=np.arange(3)))
+        with pytest.raises(StorageError):
+            store.add(Table.from_arrays("t", v=np.arange(3)))
+
+    def test_missing_table(self):
+        with pytest.raises(StorageError):
+            ColumnStore().table("gone")
+
+    def test_stats(self):
+        store = ColumnStore()
+        store.add(Table.from_arrays("t", v=np.array([5, 2, 9])))
+        stats = store.stats("t", "v")
+        assert stats.min == 2 and stats.max == 9
+        assert stats.domain_size == 8
+
+    def test_dictionary_stats(self):
+        store = ColumnStore()
+        store.add(Table.from_arrays("t", s=np.array(["a", "b"], dtype=object)))
+        assert store.stats("t", "s").domain_size == 2
+
+    def test_vectors_include_aux(self):
+        from repro.core import StructuredVector
+        store = ColumnStore()
+        store.add(Table.from_arrays("t", v=np.arange(3)))
+        store.add_aux("aux:x", StructuredVector.single(".flag", np.ones(2, bool)))
+        assert "aux:x" in store.vectors()
+
+    def test_total_bytes(self):
+        store = ColumnStore()
+        store.add(Table.from_arrays("t", v=np.arange(4, dtype=np.int64)))
+        assert store.total_bytes() == 32
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path):
+        store = ColumnStore()
+        store.add(Table.from_arrays(
+            "t", v=np.arange(5, dtype=np.int64),
+            s=np.array(["b", "a", "c", "a", "b"], dtype=object),
+        ))
+        save(store, tmp_path / "db")
+        loaded = load(tmp_path / "db")
+        t = loaded.table("t")
+        assert t.column("v").data.tolist() == list(range(5))
+        assert t.column("s").decoded() == ["b", "a", "c", "a", "b"]
+
+    def test_missing_catalog(self, tmp_path):
+        with pytest.raises(StorageError):
+            load(tmp_path)
+
+    def test_multiple_tables(self, tmp_path):
+        store = ColumnStore()
+        store.add(Table.from_arrays("a", x=np.arange(2)))
+        store.add(Table.from_arrays("b", y=np.arange(3)))
+        save(store, tmp_path / "db")
+        loaded = load(tmp_path / "db")
+        assert len(loaded.table("a")) == 2 and len(loaded.table("b")) == 3

@@ -1,0 +1,108 @@
+"""TPC-H substitution parameters: queries must be correct for non-default
+parameter values too (the spec's random substitutions)."""
+
+import numpy as np
+import pytest
+
+from repro.relational import VoodooEngine
+from repro.tpch import generate
+from repro.tpch import queries as q
+from repro.tpch import reference as r
+
+
+@pytest.fixture(scope="module")
+def store():
+    return generate(0.005, seed=13)
+
+
+@pytest.fixture(scope="module")
+def engine(store):
+    return VoodooEngine(store)
+
+
+def _close(a, b, tol=1e-6):
+    if isinstance(a, (float, np.floating)) and isinstance(b, (float, np.floating)):
+        return abs(a - b) <= tol * max(1.0, abs(a), abs(b))
+    return a == b
+
+
+def check(engine, query, reference):
+    got = engine.query(query).to_dicts()
+    if isinstance(reference, float):
+        assert len(got) == 1
+        assert _close(float(list(got[0].values())[0]), reference)
+        return
+    assert len(got) == len(reference)
+    for g, ref_row in zip(got, reference):
+        for key, value in ref_row.items():
+            assert _close(g[key], value), (key, g[key], value)
+
+
+@pytest.mark.parametrize("delta", [60, 120])
+def test_q1_delta(store, engine, delta):
+    check(engine, q.q1(store, delta_days=delta), r.ref1(store, delta_days=delta))
+
+
+@pytest.mark.parametrize("start", [(1994, 1, 1), (1995, 4, 1)])
+def test_q4_window(store, engine, start):
+    check(engine, q.q4(store, start=start), r.ref4(store, start=start))
+
+
+@pytest.mark.parametrize("region,year", [("EUROPE", 1995), ("AMERICA", 1993)])
+def test_q5_region_year(store, engine, region, year):
+    check(engine, q.q5(store, region=region, start_year=year),
+          r.ref5(store, region=region, start_year=year))
+
+
+@pytest.mark.parametrize("year,disc,qty", [(1993, 0.04, 25), (1995, 0.08, 30)])
+def test_q6_params(store, engine, year, disc, qty):
+    check(engine, q.q6(store, start_year=year, discount=disc, quantity=qty),
+          r.ref6(store, start_year=year, discount=disc, quantity=qty))
+
+
+@pytest.mark.parametrize("n1,n2", [("CHINA", "JAPAN"), ("BRAZIL", "CANADA")])
+def test_q7_nation_pair(store, engine, n1, n2):
+    check(engine, q.q7(store, nation1=n1, nation2=n2),
+          r.ref7(store, nation1=n1, nation2=n2))
+
+
+@pytest.mark.parametrize("color", ["red", "blue"])
+def test_q9_color(store, engine, color):
+    check(engine, q.q9(store, color=color), r.ref9(store, color=color))
+
+
+@pytest.mark.parametrize("nation,fraction", [("FRANCE", 0.001), ("CHINA", 0.01)])
+def test_q11_nation(store, engine, nation, fraction):
+    check(engine, q.q11(store, nation=nation, fraction=fraction),
+          r.ref11(store, nation=nation, fraction=fraction))
+
+
+@pytest.mark.parametrize("m1,m2,year", [("AIR", "TRUCK", 1995), ("RAIL", "FOB", 1993)])
+def test_q12_modes(store, engine, m1, m2, year):
+    check(engine, q.q12(store, mode1=m1, mode2=m2, start_year=year),
+          r.ref12(store, mode1=m1, mode2=m2, start_year=year))
+
+
+@pytest.mark.parametrize("start", [(1994, 3, 1), (1996, 6, 1)])
+def test_q14_month(store, engine, start):
+    check(engine, q.q14(store, start=start), r.ref14(store, start=start))
+
+
+@pytest.mark.parametrize("start", [(1995, 1, 1), (1997, 4, 1)])
+def test_q15_quarter(store, engine, start):
+    check(engine, q.q15(store, start=start), r.ref15(store, start=start))
+
+
+@pytest.mark.parametrize("color,year,nation",
+                         [("lime", 1995, "FRANCE"), ("azure", 1993, "CHINA")])
+def test_q20_params(store, engine, color, year, nation):
+    check(engine, q.q20(store, color=color, start_year=year, nation=nation),
+          r.ref20(store, color=color, start_year=year, nation=nation))
+
+
+def test_like_aux_vectors_cached(store):
+    """Building the same query twice reuses the membership table."""
+    q.q9(store, color="green")
+    before = set(store.vectors())
+    q.q9(store, color="green")
+    assert set(store.vectors()) == before
