@@ -8,6 +8,7 @@ from repro.compiler import CompilerOptions, compile_program
 N_LOOKUPS = 1 << 23  # enough lookups to amortize the 128 MB transform
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("device,checker", [
     ("cpu-mt", figure14.expected_shape_cpu),
     ("gpu", figure14.expected_shape_gpu),

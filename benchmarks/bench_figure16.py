@@ -16,7 +16,10 @@ def test_figure16_selective_fk_join(benchmark, device, checker, bench_n, capsys)
         figure16.program("Predicated Lookups", 0.4),
         CompilerOptions(device=device),
     )
-    benchmark.pedantic(lambda: compiled.simulate(store, scale=figure16.PAPER_N / bench_n), rounds=3, iterations=1)
+    benchmark.pedantic(
+        lambda: compiled.simulate(store, scale=figure16.PAPER_N / bench_n),
+        rounds=3, iterations=1,
+    )
 
     figure = figure16.run(device=device, n=bench_n)
     with capsys.disabled():

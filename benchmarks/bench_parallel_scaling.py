@@ -1,0 +1,45 @@
+"""Parallel scaling: the partition-parallel backend's 1 → N core curve.
+
+The benchmark times real multicore execution through the
+ParallelInterpreter; the printed table is the simulated scaling curve at
+the paper's one-billion-row scale (selection, aggregation, Q1, Q6).  The
+acceptance bar — >1.5x at four cores on the selection benchmark — is
+asserted, not just printed.
+"""
+
+import pytest
+
+from repro.bench import parallel_scaling
+from repro.bench.selection import make_store, selection_program
+from repro.parallel import ParallelInterpreter
+
+
+def test_parallel_scaling_series(benchmark, bench_n, capsys):
+    store = make_store(bench_n)
+    program = selection_program(bench_n, 0.5, "Branching")
+    interpreter = ParallelInterpreter(store, workers=4)
+
+    benchmark.pedantic(lambda: interpreter.run(program), rounds=3, iterations=1)
+    figure = parallel_scaling.simulated_curves(n=bench_n, tpch_scale=0.005)
+    with capsys.disabled():
+        print()
+        print(figure.render(precision=4))
+        for label in figure.series:
+            ratio = parallel_scaling.speedup_at(figure, label, 4)
+            print(f"  {label}: {ratio:.2f}x simulated at 4 cores")
+    assert parallel_scaling.speedup_at(figure, "Selection", 4) > 1.5
+    for label in figure.series:
+        assert parallel_scaling.speedup_at(figure, label, 4) > 1.0, label
+
+
+@pytest.mark.slow
+def test_wallclock_curve(capsys):
+    figure = parallel_scaling.wallclock_curve(n=1 << 20, repeats=2)
+    with capsys.disabled():
+        print()
+        print(figure.render(precision=4))
+    # Wall-clock scaling depends on the host's core count (CI runners may
+    # have one), so only sanity-check that the curve was produced.
+    series = figure.series["Selection (ParallelInterpreter)"]
+    assert len(series.ys) == len(parallel_scaling.WORKER_COUNTS)
+    assert all(y > 0 for y in series.ys)

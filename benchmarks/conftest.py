@@ -4,10 +4,16 @@ Each ``bench_*`` module regenerates one table/figure of the paper: the
 pytest-benchmark fixture times the real execution of our compiled kernels,
 and the test body prints the *simulated* series in the paper's layout
 (see EXPERIMENTS.md for the paper-vs-measured record).
+
+Run with ``python -m pytest benchmarks`` from the repo root (collection
+is configured in pyproject.toml); ``-m "not slow"`` is the CI smoke set.
 """
 
 import pytest
 
+# pytest's rootdir is the repo root (anchored by pyproject.toml), so the
+# root conftest.py has already bootstrapped src/ onto sys.path when this
+# module loads — no install required.
 from repro.tpch import generate
 
 

@@ -1,0 +1,14 @@
+"""Repo-root pytest bootstrap.
+
+Makes ``import repro`` work from a clean checkout without installation:
+prefer ``pip install -e .``, but fall back to putting ``src/`` on
+``sys.path`` so `python -m pytest` (the tier-1 command) always runs.
+"""
+
+import sys
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401  (installed via pip install -e .)
+except ImportError:
+    sys.path.insert(0, str(Path(__file__).resolve().parent / "src"))

@@ -66,7 +66,9 @@ def main():
         result = out.attr(".total")[out.present(".total")][0]
         assert result == values.sum()
         print(f"  {device:8s}: {report.milliseconds:8.3f} ms "
-              f"(breakdown: {', '.join(f'{k}={v * 1e3:.3f}ms' for k, v in report.breakdown().items())})")
+              "(breakdown: "
+          + ", ".join(f"{k}={v * 1e3:.3f}ms" for k, v in report.breakdown().items())
+          + ")")
 
 
 if __name__ == "__main__":

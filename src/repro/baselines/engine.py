@@ -14,7 +14,7 @@ operator traffic accounting to the concrete engine subclass.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.bench.harness import Series, SeriesSet
+from repro.bench.harness import SeriesSet
 from repro.compiler import CompilerOptions, compile_program
 from repro.core import Builder, Schema
 from repro.core.vector import StructuredVector

@@ -65,11 +65,11 @@ class SeriesSet:
         xs = self.series[labels[0]].xs if labels else []
         scale = {"s": 1.0, "ms": 1e3, "us": 1e6}[unit]
         width = max(12, precision + 8)
-        header = f"{self.x_label:>14} | " + " | ".join(f"{l:>{width}}" for l in labels)
+        header = f"{self.x_label:>14} | " + " | ".join(f"{n:>{width}}" for n in labels)
         lines = [self.title, header, "-" * len(header)]
         for i, x in enumerate(xs):
             cells = " | ".join(
-                f"{self.series[l].ys[i] * scale:>{width}.{precision}f}" for l in labels
+                f"{self.series[n].ys[i] * scale:>{width}.{precision}f}" for n in labels
             )
             lines.append(f"{x:>14g} | {cells}")
         lines.append(f"(values in {unit}{'' if unit == 's' else ''}; lower is better)")

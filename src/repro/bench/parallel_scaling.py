@@ -1,0 +1,146 @@
+"""Multicore scaling curves for the partition-parallel backend.
+
+The paper's tuning claim (section 4, Figure 3) is that one Voodoo program
+re-targets from one core to many purely through how its control vector
+partitions the data.  This experiment produces the corresponding scaling
+curve 1 → N cores for four workloads:
+
+* **Selection** — the Figure 1 microbenchmark (branching variant);
+* **Aggregation** — hierarchical grouped sum (the Figure 3/4 program);
+* **TPC-H Q1** and **Q6** — full queries through the relational frontend.
+
+Two measurements per workload:
+
+* *simulated* — the compiled backend's trace priced with the device
+  re-profiled to ``workers`` hardware threads
+  (:class:`~repro.compiler.ExecutionOptions`); this is the hardware-model
+  view at the paper's one-billion-row scale.
+* *wall-clock* — real execution of the selection program on the
+  :class:`~repro.parallel.ParallelInterpreter` worker pool (thread pool;
+  NumPy releases the GIL on the hot kernels).  Only meaningful on a
+  multi-core host.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.harness import SeriesSet
+from repro.bench.selection import PAPER_N, make_store, selection_program, variant_options
+from repro.compiler import CompilerOptions, ExecutionOptions, compile_program
+from repro.core import Builder, Schema
+from repro.interpreter import Interpreter
+from repro.parallel import ParallelInterpreter
+
+WORKER_COUNTS = (1, 2, 4, 8)
+
+
+def aggregation_program(n: int, grain: int = 8192):
+    """Hierarchical grouped sum: the multithreaded program of Figure 3."""
+    b = Builder({"facts": Schema({".v1": "float32", ".v2": "float32"})})
+    facts = b.load("facts")
+    ids = b.range(facts)
+    pids = b.divide(ids, b.constant(grain), out=".partition")
+    zipped = b.zip(facts.project(".v2", out=".val"), pids)
+    psum = b.fold_sum(zipped, agg_kp=".val", fold_kp=".partition", out=".psum")
+    return b.build(total=b.fold_sum(psum, agg_kp=".psum", out=".total"))
+
+
+def _tpch_compiled(number: int, scale: float, device: str):
+    from repro.relational import VoodooEngine
+    from repro.tpch import build, generate
+
+    store = generate(scale, seed=42)
+    engine = VoodooEngine(store, CompilerOptions(device=device))
+    compiled = engine.compile(build(store, number))
+    return compiled, store.vectors()
+
+
+def simulated_curves(
+    n: int = 1 << 19,
+    workers=WORKER_COUNTS,
+    device: str = "cpu-mt",
+    tpch_scale: float = 0.01,
+    scale_to: int | None = PAPER_N,
+) -> SeriesSet:
+    """Simulated seconds per workload as the core count grows.
+
+    Each workload is re-run per worker count with the matching
+    :class:`ExecutionOptions`: per-core footprints (X100-style chunk
+    residency scales with the active cores) are recorded into the trace,
+    so both the recording and the pricing model the same core count.
+    """
+    figure = SeriesSet(
+        title="Parallel scaling: simulated seconds vs cores (partition-parallel)",
+        x_label="workers",
+        y_label="seconds",
+    )
+    store = make_store(n)
+    workloads = []
+
+    compiled = compile_program(
+        selection_program(n, 0.5, "Branching"), variant_options("Branching", device)
+    )
+    workloads.append(("Selection", compiled, store, (scale_to / n) if scale_to else 1.0))
+
+    compiled = compile_program(aggregation_program(n), CompilerOptions(device=device))
+    workloads.append(("Aggregation", compiled, store, (scale_to / n) if scale_to else 1.0))
+
+    for number in (1, 6):
+        compiled, vectors = _tpch_compiled(number, tpch_scale, device)
+        workloads.append((f"TPC-H Q{number}", compiled, vectors, 1.0))
+
+    for label, compiled, storage, scale in workloads:
+        line = figure.line(label)
+        for w in workers:
+            execution = ExecutionOptions(workers=w)
+            _, report = compiled.simulate(storage, scale=scale, execution=execution)
+            line.add(w, report.seconds)
+    return figure
+
+
+def wallclock_curve(n: int = 1 << 21, workers=WORKER_COUNTS, repeats: int = 3) -> SeriesSet:
+    """Measured seconds of the selection program on the real worker pool."""
+    figure = SeriesSet(
+        title="Parallel scaling: wall-clock seconds vs workers (selection)",
+        x_label="workers",
+        y_label="seconds",
+    )
+    store = make_store(n)
+    program = selection_program(n, 0.5, "Branching")
+    line = figure.line("Selection (ParallelInterpreter)")
+    for w in workers:
+        runner = (
+            Interpreter(store) if w == 1 else ParallelInterpreter(store, workers=w)
+        )
+        best = min(_timed(runner.run, program) for _ in range(repeats))
+        line.add(w, best)
+    return figure
+
+
+def _timed(fn, *args) -> float:
+    start = time.perf_counter()
+    fn(*args)
+    return time.perf_counter() - start
+
+
+def speedup_at(figure: SeriesSet, label: str, workers: int) -> float:
+    """Speedup of *label* at *workers* relative to one worker."""
+    series = figure.series[label]
+    return series.y_at(1.0) / series.y_at(float(workers))
+
+
+def main() -> None:
+    simulated = simulated_curves()
+    print(simulated.render(unit="s", precision=4))
+    for label in simulated.series:
+        print(f"  {label}: {speedup_at(simulated, label, 4):.2f}x simulated at 4 cores")
+    print()
+    wall = wallclock_curve()
+    print(wall.render(unit="s", precision=4))
+    label = "Selection (ParallelInterpreter)"
+    print(f"  {label}: {speedup_at(wall, label, 4):.2f}x wall-clock at 4 workers")
+
+
+if __name__ == "__main__":
+    main()

@@ -11,7 +11,7 @@ from repro.compiler.fragments import FULL, Fragment, FragmentPlan
 from repro.compiler.metadata import MetadataPass
 from repro.compiler.opencl_emit import emit_opencl
 from repro.compiler.optimizer import cse, optimize
-from repro.compiler.options import CompilerOptions
+from repro.compiler.options import CompilerOptions, ExecutionOptions
 from repro.compiler.rt import Runtime, RtVal
 
 __all__ = [
@@ -25,6 +25,7 @@ __all__ = [
     "cse",
     "optimize",
     "CompilerOptions",
+    "ExecutionOptions",
     "Runtime",
     "RtVal",
 ]

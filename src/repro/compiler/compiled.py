@@ -9,18 +9,18 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Mapping
 
-from repro.core.program import Program
-from repro.core.vector import StructuredVector
 from repro.compiler.codegen import compile_source, generate_source
 from repro.compiler.fragments import FragmentPlan
 from repro.compiler.metadata import MetadataPass
 from repro.compiler.opencl_emit import emit_opencl
 from repro.compiler.optimizer import optimize
-from repro.compiler.options import CompilerOptions
+from repro.compiler.options import CompilerOptions, ExecutionOptions
 from repro.compiler.rt import Runtime
+from repro.core.program import Program
+from repro.core.vector import StructuredVector
 from repro.hardware.cost import CostModel, CostReport
 from repro.hardware.device import DeviceProfile, get_device
 from repro.hardware.trace import Trace, TraceRecorder
@@ -50,6 +50,7 @@ class CompiledProgram:
         storage: Mapping[str, StructuredVector],
         collect_trace: bool = True,
         scale: float = 1.0,
+        execution: ExecutionOptions | None = None,
     ) -> tuple[dict[str, StructuredVector], Trace]:
         """Execute over *storage*; returns (named outputs, operation trace).
 
@@ -57,6 +58,8 @@ class CompiledProgram:
         times larger than the arrays actually executed (volumes and
         parallel extents scale; sequential fragments do not) — how the
         microbenchmarks reach the paper's one-billion-row sizes.
+        ``execution`` carries the multicore knob: the runtime charges
+        per-core footprints for ``execution.workers`` cores.
         """
         recorder = TraceRecorder(enabled=collect_trace)
         runtime = Runtime(
@@ -67,20 +70,33 @@ class CompiledProgram:
             slot_suppression=self.options.slot_suppression,
             virtual_scatter=self.options.virtual_scatter,
             scale=scale,
+            workers=execution.workers if execution else None,
         )
         outputs = self.entry(runtime)
         return dict(outputs), recorder.trace
 
-    def price(self, trace: Trace) -> CostReport:
-        """Simulated cost of a recorded trace on this program's device."""
-        return CostModel(self.device).price(trace)
+    def price(self, trace: Trace, execution: ExecutionOptions | None = None) -> CostReport:
+        """Simulated cost of a recorded trace on this program's device.
+
+        With ``execution``, the device is re-profiled to ``workers``
+        hardware threads, so the same trace prices out the multicore
+        scaling curve (compute and branch resolution spread over the
+        cores; the shared memory bus does not speed up).
+        """
+        device = self.device
+        if execution is not None:
+            device = replace(device, threads=execution.workers)
+        return CostModel(device).price(trace)
 
     def simulate(
-        self, storage: Mapping[str, StructuredVector], scale: float = 1.0
+        self,
+        storage: Mapping[str, StructuredVector],
+        scale: float = 1.0,
+        execution: ExecutionOptions | None = None,
     ) -> tuple[dict[str, StructuredVector], CostReport]:
         """Run and price in one call (what the benchmarks use)."""
-        outputs, trace = self.run(storage, scale=scale)
-        return outputs, self.price(trace)
+        outputs, trace = self.run(storage, scale=scale, execution=execution)
+        return outputs, self.price(trace, execution=execution)
 
 
 def compile_program(

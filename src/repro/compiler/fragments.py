@@ -26,10 +26,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core import ops
-from repro.core.program import Program
 from repro.compiler.metadata import MetadataPass
 from repro.compiler.options import CompilerOptions
+from repro.core import ops
+from repro.core.program import Program
 
 #: intent value meaning "one run spans the whole vector" (fully sequential)
 FULL = 0

@@ -9,9 +9,9 @@ the work-item index; seams become ``__global`` buffer writes.
 
 from __future__ import annotations
 
+from repro.compiler.fragments import FULL, FragmentPlan
 from repro.core import ops
 from repro.core.keypath import Keypath
-from repro.compiler.fragments import FULL, FragmentPlan
 
 _BINARY_C = {
     "Add": "+", "Subtract": "-", "Multiply": "*", "Divide": "/", "Modulo": "%",

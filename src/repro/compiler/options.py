@@ -13,6 +13,7 @@ from dataclasses import dataclass, replace
 from repro.errors import CompilationError
 
 SELECTION_STRATEGIES = ("branching", "branch-free")
+POOL_KINDS = ("thread", "process")
 
 
 @dataclass(frozen=True)
@@ -53,5 +54,34 @@ class CompilerOptions:
             )
 
     def with_(self, **changes) -> "CompilerOptions":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class ExecutionOptions:
+    """Runtime (not code-generation) choices: how many cores to use.
+
+    ``workers`` is the multicore knob of the paper's tuning claim.  For the
+    compiled/simulated path it overrides the device profile's hardware
+    thread count, so trace events are priced with per-core compute spread
+    over exactly *workers* lanes (the scaling-curve benchmarks sweep it);
+    for the interpreting path it is the
+    :class:`~repro.parallel.ParallelInterpreter` pool width, delivering
+    real wall-clock parallelism.  ``pool`` picks the worker pool kind.
+    """
+
+    workers: int = 1
+    pool: str = "thread"
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise CompilationError(f"workers must be >= 1, got {self.workers}")
+        if self.pool not in POOL_KINDS:
+            raise CompilationError(
+                f"pool must be one of {POOL_KINDS}, got {self.pool!r}"
+            )
+
+    def with_(self, **changes) -> "ExecutionOptions":
         """A copy with the given fields replaced."""
         return replace(self, **changes)

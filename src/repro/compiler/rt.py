@@ -25,7 +25,6 @@ from fractions import Fraction
 
 import numpy as np
 
-from repro.core import ops
 from repro.core.controlvector import RunInfo, constant_run
 from repro.core.keypath import Keypath
 from repro.core.vector import StructuredVector
@@ -128,6 +127,7 @@ class Runtime:
         slot_suppression: bool = True,
         virtual_scatter: bool = True,
         scale: float = 1.0,
+        workers: int | None = None,
     ):
         self.storage = storage
         self.device = device
@@ -135,6 +135,10 @@ class Runtime:
         self.selection = selection
         self.slot_suppression = slot_suppression
         self.virtual_scatter_enabled = virtual_scatter
+        #: concurrently executing cores (ExecutionOptions.workers); charges
+        #: per-core footprints — every active core owns its own chunk
+        #: buffer, so X100-style residency scales with the core count.
+        self.workers = int(workers) if workers else device.threads
         #: data-size scale: kernels execute over the (small) arrays in
         #: storage but the trace models a dataset `scale` times larger.
         #: Volumes and *parallel* extents scale; sequential work (extent 1)
@@ -326,7 +330,8 @@ class Runtime:
         # Symbolic fast path: control-vector arithmetic never materializes.
         info = left.runinfo(kp1)
         rscalar = right.scalar(kp2)
-        if info is not None and rscalar is not None and isinstance(rscalar, (int, np.integer, bool)):
+        integral = isinstance(rscalar, (int, np.integer, bool))
+        if info is not None and rscalar is not None and integral:
             derived = self._derive(fn, info, int(rscalar))
             if derived is not None:
                 return RtVal(vector=None, length=left.length, virtual={out: derived})
@@ -573,7 +578,7 @@ class Runtime:
         footprint = 0
         if chunk:
             item = max(1, vec.schema.item_nbytes)
-            footprint = int(chunk) * item * max(1, self.device.threads)
+            footprint = int(chunk) * item * max(1, self.workers)
             # the producing fold's full-size buffer write is re-scoped to
             # the chunk buffer as well: it never reaches DRAM
             if self.recorder.enabled and self.recorder._current is not None:
@@ -625,7 +630,7 @@ class Runtime:
         )
         return RtVal(vector=vec, length=n)
 
-    # -- folds ----------------------------------------------------------------------------------------
+    # -- folds ------------------------------------------------------------------
 
     def _control_arrays(self, val: RtVal, fold_kp: Keypath | None, n: int):
         """(control, control_present, static_run_length).
@@ -806,10 +811,6 @@ class Runtime:
     def fold_count(self, out: Keypath, val: RtVal, counted_kp: Keypath | None,
                    fold_kp: Keypath | None) -> RtVal:
         if val.scatter is not None:
-            ones = RtVal(
-                vector=val.vector, length=val.length, virtual=dict(val.virtual),
-                mat_attrs=val.mat_attrs, scatter=val.scatter,
-            )
             kp = counted_kp or _single_path(val)
             # count == sum of ones; reuse scattered sum over a ones column
             base = self.force(RtVal(vector=val.vector, length=val.length,

@@ -227,7 +227,9 @@ class Builder:
 
     def logical_not(self, v: V, out=VAL, source_kp=None) -> V:
         return self._wrap(
-            ops.Unary(fn="LogicalNot", out=kp(out), source=v.node, source_kp=self._pick(v, source_kp))
+            ops.Unary(
+                fn="LogicalNot", out=kp(out), source=v.node, source_kp=self._pick(v, source_kp)
+            )
         )
 
     def negate(self, v: V, out=VAL, source_kp=None) -> V:
@@ -237,13 +239,16 @@ class Builder:
 
     def is_present(self, v: V, out=VAL, source_kp=None) -> V:
         return self._wrap(
-            ops.Unary(fn="IsPresent", out=kp(out), source=v.node, source_kp=self._pick(v, source_kp))
+            ops.Unary(
+                fn="IsPresent", out=kp(out), source=v.node, source_kp=self._pick(v, source_kp)
+            )
         )
 
     def cast(self, v: V, dtype: str, out=VAL, source_kp=None) -> V:
         return self._wrap(
             ops.Unary(
-                fn="Cast", out=kp(out), source=v.node, source_kp=self._pick(v, source_kp), dtype=dtype
+                fn="Cast", out=kp(out), source=v.node,
+                source_kp=self._pick(v, source_kp), dtype=dtype,
             )
         )
 
@@ -268,15 +273,22 @@ class Builder:
 
     def upsert(self, target: V, out, value: V, value_kp=None) -> V:
         return self._wrap(
-            ops.Upsert(target=target.node, out=kp(out), value=value.node, kp=self._pick(value, value_kp))
+            ops.Upsert(
+                target=target.node, out=kp(out), value=value.node,
+                kp=self._pick(value, value_kp),
+            )
         )
 
     def gather(self, source: V, positions: V, pos_kp=None) -> V:
         return self._wrap(
-            ops.Gather(source=source.node, positions=positions.node, pos_kp=self._pick(positions, pos_kp))
+            ops.Gather(
+                source=source.node, positions=positions.node,
+                pos_kp=self._pick(positions, pos_kp),
+            )
         )
 
-    def scatter(self, data: V, positions: V, pos_kp=None, sizeref: V | None = None, run_kp=None) -> V:
+    def scatter(self, data: V, positions: V, pos_kp=None,
+                sizeref: V | None = None, run_kp=None) -> V:
         return self._wrap(
             ops.Scatter(
                 data=data.node,

@@ -6,7 +6,6 @@ node, operands referenced by their SSA names, parameters inline.
 
 from __future__ import annotations
 
-from repro.core import ops
 from repro.core.program import Program
 
 

@@ -56,7 +56,8 @@ class Schema:
         paths = sorted(fields, key=lambda p: len(p))
         for i, shorter in enumerate(paths):
             for longer in paths[i + 1 :]:
-                if longer is not shorter and longer.startswith(shorter) and len(longer) > len(shorter):
+                nested = longer.startswith(shorter) and len(longer) > len(shorter)
+                if longer is not shorter and nested:
                     raise SchemaError(f"field {shorter} conflicts with nested field {longer}")
 
     # -- mapping interface ---------------------------------------------------

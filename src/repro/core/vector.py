@@ -14,7 +14,7 @@ empty-slot suppression at the data-model level).
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping
+from typing import Mapping
 
 import numpy as np
 
@@ -211,14 +211,23 @@ class StructuredVector:
         return StructuredVector(n, columns, present, infos)
 
     def take(self, positions: np.ndarray) -> "StructuredVector":
-        """Positional gather; out-of-bounds positions yield ε slots."""
+        """Positional gather; out-of-bounds positions yield ε slots.
+
+        ε slots are zero-filled (not left with clamped row-0 values), the
+        same deterministic-ε contract as :func:`repro.interpreter.semantics.gather`
+        — raw arrays stay comparable across backends.
+        """
         positions = np.asarray(positions)
         valid = (positions >= 0) & (positions < self._length)
         safe = np.where(valid, positions, 0).astype(np.int64)
+        all_valid = bool(valid.all())
         columns: dict[Keypath, np.ndarray] = {}
         present: dict[Keypath, np.ndarray | None] = {}
         for path, array in self._columns.items():
-            columns[path] = array[safe]
+            taken = array[safe]
+            if not all_valid:
+                taken[~valid] = 0
+            columns[path] = taken
             mask = self._present.get(path)
             taken_mask = valid if mask is None else (valid & mask[safe])
             present[path] = None if taken_mask.all() else taken_mask
@@ -229,6 +238,19 @@ class StructuredVector:
         columns = {p: a[:n] for p, a in self._columns.items()}
         present = {p: (None if m is None else m[:n]) for p, m in self._present.items()}
         return StructuredVector(n, columns, present, self._runinfo)
+
+    def slice(self, lo: int, hi: int) -> "StructuredVector":
+        """Contiguous row range ``[lo, hi)`` (the partition-parallel chunk cut).
+
+        Views, not copies; run metadata is dropped because a RunInfo start
+        offset would be wrong for a mid-vector cut (values are unaffected —
+        the interpreter only uses RunInfo as derivation metadata).
+        """
+        lo = max(0, min(lo, self._length))
+        hi = max(lo, min(hi, self._length))
+        columns = {p: a[lo:hi] for p, a in self._columns.items()}
+        present = {p: (None if m is None else m[lo:hi]) for p, m in self._present.items()}
+        return StructuredVector(hi - lo, columns, present)
 
     # -- debugging ------------------------------------------------------------------
 

@@ -16,7 +16,6 @@ from __future__ import annotations
 from repro.hardware.device import DeviceProfile
 
 
-import math
 
 
 #: residual hit rate when the working set exactly fills the cache —

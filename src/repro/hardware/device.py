@@ -14,7 +14,7 @@ Constants are calibrated so the microbenchmark *shapes* of the paper
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import VoodooError
 

@@ -1,6 +1,6 @@
 """Reference interpreter backend (bulk-processing, fully materializing)."""
 
-from repro.interpreter.engine import Interpreter, apply_binary
 from repro.interpreter import semantics
+from repro.interpreter.engine import Interpreter, apply_binary
 
 __all__ = ["Interpreter", "apply_binary", "semantics"]

@@ -283,15 +283,25 @@ def gather(
     columns: dict,
     masks: dict,
 ) -> tuple[dict, dict]:
-    """Resolve positions; OOB / ε positions yield ε output slots."""
+    """Resolve positions; OOB / ε positions yield ε output slots.
+
+    ε output slots are zero-filled rather than left with whatever row the
+    clamped position touched: deterministic ε content is what lets the
+    partition-parallel backend produce bit-identical vectors (a chunk
+    worker has no access to the full vector's row 0).
+    """
     valid = (positions >= 0) & (positions < source_len)
     if pos_present is not None:
         valid &= pos_present
     safe = np.where(valid, positions, 0).astype(np.int64)
+    all_valid = bool(valid.all())
     out_cols: dict = {}
     out_masks: dict = {}
     for path, col in columns.items():
-        out_cols[path] = col[safe]
+        taken = col[safe]
+        if not all_valid:
+            taken[~valid] = 0
+        out_cols[path] = taken
         m = masks.get(path)
         out_masks[path] = valid.copy() if m is None else (valid & m[safe])
     return out_cols, out_masks

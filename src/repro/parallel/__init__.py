@@ -1,0 +1,39 @@
+"""Partition-parallel execution: the multicore side of the tuning claim.
+
+The paper's section 4 argues the same vector algebra re-targets from SIMD
+to multicore purely through how control vectors partition the data.  This
+package makes the multicore half real: a planner that classifies a
+program into per-chunk / global / sequential zones along ``Partition``-
+style control-vector semantics, and an executor that runs the chunks on a
+worker pool and merges results bit-identically to the sequential
+interpreter.
+"""
+
+from repro.parallel.executor import ChunkCrossing, ParallelInterpreter
+from repro.parallel.merge import concat_chunks, merge_fold, merge_select
+from repro.parallel.planner import (
+    GFOLD,
+    GLOBAL,
+    GSELECT,
+    PARTITIONED,
+    SEQ,
+    PartitionPlan,
+    PartitionPlanner,
+    chunk_ranges,
+)
+
+__all__ = [
+    "ChunkCrossing",
+    "ParallelInterpreter",
+    "concat_chunks",
+    "merge_fold",
+    "merge_select",
+    "GFOLD",
+    "GLOBAL",
+    "GSELECT",
+    "PARTITIONED",
+    "SEQ",
+    "PartitionPlan",
+    "PartitionPlanner",
+    "chunk_ranges",
+]

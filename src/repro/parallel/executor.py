@@ -1,0 +1,310 @@
+"""The partition-parallel execution backend (multicore Voodoo).
+
+``ParallelInterpreter`` is a drop-in replacement for the sequential
+:class:`~repro.interpreter.engine.Interpreter`: same constructor shape,
+same ``run()`` contract, bit-identical outputs.  Internally it asks the
+:class:`~repro.parallel.planner.PartitionPlanner` how to split the
+program, evaluates the GLOBAL zone once, fans the PARTITIONED zone out
+over a ``concurrent.futures`` pool (threads by default — NumPy releases
+the GIL on the hot kernels; processes optionally), merges the chunk
+results, and finishes the SEQ zone sequentially.
+
+Correctness is structural, not statistical: every partitioned slot is the
+very slot sequential execution would produce (chunk interpreters offset
+``Range`` starts and ``FoldSelect`` positions by the chunk origin, and
+chunk boundaries never split a control run), so merging is exact.  When a
+program cannot be proven partitionable — or a ``Gather`` turns out to
+chase positions across chunk boundaries at runtime — execution falls back
+to the sequential reference interpreter, trading speed for certainty.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from fractions import Fraction
+from typing import Mapping
+
+import numpy as np
+
+from repro.compiler.options import POOL_KINDS
+from repro.core import ops
+from repro.core.controlvector import RunInfo
+from repro.core.program import Program
+from repro.core.vector import StructuredVector
+from repro.errors import ExecutionError
+from repro.interpreter import semantics
+from repro.interpreter.engine import Interpreter
+from repro.parallel import merge
+from repro.parallel.planner import (
+    GFOLD,
+    GLOBAL,
+    GSELECT,
+    PARTITIONED,
+    SEQ,
+    PartitionPlan,
+    PartitionPlanner,
+)
+
+class ChunkCrossing(Exception):
+    """A Gather into partitioned data chased positions outside the chunk.
+
+    Raised by chunk workers; the executor responds by re-running the whole
+    program sequentially, which is always correct.
+    """
+
+
+class _ChunkInterpreter(Interpreter):
+    """Evaluates the partitioned subgraph over one chunk ``[lo, hi)``.
+
+    Overrides exactly the operators whose chunk-local evaluation would
+    otherwise diverge from the slots sequential execution produces.
+    """
+
+    def __init__(
+        self,
+        driving_slice: StructuredVector,
+        driving_id: int,
+        chunked_ids: frozenset,
+        lo: int,
+        hi: int,
+        extent: int,
+    ):
+        super().__init__({})
+        self._driving_slice = driving_slice
+        self._driving_id = driving_id
+        self._chunked_ids = chunked_ids
+        self.lo = lo
+        self.hi = hi
+        self.extent = extent
+
+    def _eval_load(self, node: ops.Load, values) -> StructuredVector:
+        if id(node) != self._driving_id:  # pragma: no cover - planner invariant
+            raise ExecutionError(f"chunk worker asked to load {node.name!r}")
+        return self._driving_slice
+
+    def _eval_range(self, node: ops.Range, values) -> StructuredVector:
+        # The chunk starts at global row `lo`: shift the generator so every
+        # slot holds the value sequential execution assigns to that row.
+        length = len(self._get(values, node.sizeref))
+        start = node.start + self.lo * node.step
+        info = RunInfo(start=start, step=Fraction(node.step))
+        return StructuredVector(
+            length, {node.out: info.materialize(length)}, runinfo={node.out: info}
+        )
+
+    def _eval_foldselect(self, node: ops.FoldSelect, values) -> StructuredVector:
+        result = super()._eval_foldselect(node, values)
+        if self.lo == 0:
+            return result
+        out = result.attr(node.out).copy()
+        mask = result.present(node.out)
+        out[mask] += self.lo  # local hit positions -> global positions
+        return StructuredVector(
+            len(result), {node.out: out}, {node.out: None if mask.all() else mask}
+        )
+
+    def _eval_gather(self, node: ops.Gather, values) -> StructuredVector:
+        if id(node.source) not in self._chunked_ids:
+            return super()._eval_gather(node, values)  # global source, as-is
+        # Partitioned source: positions are global, the source is a chunk.
+        source = self._get(values, node.source)
+        positions = self._get(values, node.positions)
+        pos = positions.attr(node.pos_kp)
+        pos_mask = (
+            None if positions.is_dense(node.pos_kp) else positions.present(node.pos_kp)
+        )
+        valid = (pos >= 0) & (pos < self.extent)
+        if pos_mask is not None:
+            valid &= pos_mask
+        if bool(np.any(valid & ((pos < self.lo) | (pos >= self.hi)))):
+            raise ChunkCrossing(
+                f"gather positions escape chunk [{self.lo}, {self.hi})"
+            )
+        local = pos.astype(np.int64) - self.lo
+        cols = {p: source.attr(p) for p in source.paths}
+        masks = {
+            p: (None if source.is_dense(p) else source.present(p)) for p in source.paths
+        }
+        out_cols, out_masks = semantics.gather(local, pos_mask, len(source), cols, masks)
+        return StructuredVector(len(pos), out_cols, out_masks)
+
+
+def _run_chunk(
+    program: Program,
+    chunk_indices: list[int],
+    frontier: list[int],
+    seeded: dict[int, StructuredVector],
+    driving: int,
+    lo: int,
+    hi: int,
+    extent: int,
+) -> dict[int, StructuredVector]:
+    """Worker body: evaluate the chunk subgraph, return frontier values.
+
+    Module-level (not a closure) and keyed by topological-order indices so
+    the same function serves thread and process pools.
+    """
+    order = program.order
+    chunked_ids = frozenset(id(order[i]) for i in chunk_indices)
+    interp = _ChunkInterpreter(
+        driving_slice=seeded[driving],
+        driving_id=id(order[driving]),
+        chunked_ids=chunked_ids,
+        lo=lo,
+        hi=hi,
+        extent=extent,
+    )
+    values: dict[int, StructuredVector] = {
+        id(order[i]): vec for i, vec in seeded.items()
+    }
+    for i in chunk_indices:
+        node = order[i]
+        if id(node) not in values:
+            values[id(node)] = interp._eval(node, values)
+    return {i: values[id(order[i])] for i in frontier}
+
+
+class ParallelInterpreter:
+    """Partition-parallel drop-in for the sequential :class:`Interpreter`.
+
+    Parameters
+    ----------
+    storage:
+        Named-vector Load context, as for the sequential interpreter.
+    workers:
+        Worker-pool width; defaults to ``os.cpu_count()``.  ``workers=1``
+        short-circuits to the sequential interpreter.
+    pool:
+        ``"thread"`` (default; NumPy kernels release the GIL) or
+        ``"process"`` (full isolation, pays pickling per chunk).
+    """
+
+    def __init__(
+        self,
+        storage: Mapping[str, StructuredVector] | None = None,
+        workers: int | None = None,
+        pool: str = "thread",
+    ):
+        if pool not in POOL_KINDS:
+            raise ExecutionError(f"pool must be one of {POOL_KINDS}, got {pool!r}")
+        self._storage = dict(storage or {})
+        self.workers = (os.cpu_count() or 1) if workers is None else int(workers)
+        if self.workers < 1:
+            raise ExecutionError(f"workers must be >= 1, got {self.workers}")
+        self.pool = pool
+        #: plan of the most recent run (observability/testing hook)
+        self.last_plan: PartitionPlan | None = None
+
+    def store(self, name: str, vector: StructuredVector) -> None:
+        self._storage[name] = vector
+
+    # -- execution ------------------------------------------------------------
+
+    def run(self, program: Program) -> dict[str, StructuredVector]:
+        """Execute and return named outputs, bit-identical to sequential."""
+        if self.workers <= 1:
+            self.last_plan = None
+            return self._run_sequential(program)
+        plan = PartitionPlanner(program, self._storage, self.workers).plan()
+        self.last_plan = plan
+        if not plan.parallel:
+            return self._run_sequential(program)
+        try:
+            return self._run_parallel(program, plan)
+        except ChunkCrossing:
+            return self._run_sequential(program)
+
+    def _run_sequential(self, program: Program) -> dict[str, StructuredVector]:
+        """Reference-interpreter fallback, with Persist results synced back
+        (the Interpreter copies its storage dict, so persists would
+        otherwise be invisible to later run() calls)."""
+        outputs = Interpreter(self._storage).run(program)
+        for node in program.order:
+            if isinstance(node, ops.Persist):
+                self._storage[node.name] = outputs[node.name]
+        return outputs
+
+    def _run_parallel(self, program: Program, plan: PartitionPlan) -> dict[str, StructuredVector]:
+        order = program.order
+        interp = Interpreter(self._storage)
+        values: dict[int, StructuredVector] = {}
+
+        # 1. GLOBAL zone: dimension-side values, computed once.
+        for i, node in enumerate(order):
+            if plan.zones[i] == GLOBAL:
+                values[id(node)] = interp._eval(node, values)
+
+        # 2. Fan the PARTITIONED zone out over the worker pool.
+        chunk_results = self._map_chunks(program, plan, values)
+
+        # 3. Merge chunk results back into full vectors.
+        for i in plan.frontier:
+            node = order[i]
+            if i == plan.driving:
+                # the driving table is untouched: no need to rebuild it
+                # from its own slices
+                values[id(node)] = self._storage[node.name]
+                continue
+            chunks = [result[i] for result in chunk_results]
+            values[id(node)] = self._merge(plan.zones[i], node, chunks)
+
+        # 4. SEQ zone: everything the planner could not prove partitionable.
+        for i, node in enumerate(order):
+            if plan.zones[i] == SEQ:
+                values[id(node)] = interp._eval(node, values)
+
+        # 5. Outputs and Persist capture, exactly as the sequential run().
+        persisted: dict[str, StructuredVector] = {}
+        for node in order:
+            if isinstance(node, ops.Persist) and id(node) in values:
+                persisted[node.name] = values[id(node)]
+                self._storage[node.name] = values[id(node)]
+        outputs = {name: values[id(node)] for name, node in program.outputs.items()}
+        outputs.update(persisted)
+        return outputs
+
+    def _map_chunks(
+        self,
+        program: Program,
+        plan: PartitionPlan,
+        values: dict[int, StructuredVector],
+    ) -> list[dict[int, StructuredVector]]:
+        order = program.order
+        chunk_indices = plan.chunk_nodes()
+        driving_vec = self._storage[order[plan.driving].name]
+        tasks = []
+        for lo, hi in plan.chunks:
+            seeded: dict[int, StructuredVector] = {plan.driving: driving_vec.slice(lo, hi)}
+            for j, mode in plan.global_feeds.items():
+                vec = values[id(order[j])]
+                seeded[j] = vec.slice(lo, hi) if mode == "sliced" else vec
+            tasks.append((lo, hi, seeded))
+        executor_cls = ThreadPoolExecutor if self.pool == "thread" else ProcessPoolExecutor
+        with executor_cls(max_workers=min(self.workers, len(tasks))) as pool:
+            futures = [
+                pool.submit(
+                    _run_chunk,
+                    program,
+                    chunk_indices,
+                    plan.frontier,
+                    seeded,
+                    plan.driving,
+                    lo,
+                    hi,
+                    plan.extent,
+                )
+                for lo, hi, seeded in tasks
+            ]
+            return [f.result() for f in futures]
+
+    @staticmethod
+    def _merge(zone: str, node: ops.Op, chunks: list[StructuredVector]) -> StructuredVector:
+        if zone == PARTITIONED:
+            return merge.concat_chunks(chunks)
+        if zone == GSELECT:
+            return merge.merge_select(chunks, node.out)
+        if zone == GFOLD:
+            fn = "sum" if isinstance(node, ops.FoldCount) else node.fn
+            return merge.merge_fold(fn, chunks, node.out)
+        raise ExecutionError(f"cannot merge zone {zone!r}")  # pragma: no cover

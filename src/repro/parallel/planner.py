@@ -1,0 +1,395 @@
+"""The partition planner: which nodes run per-chunk, and where to cut.
+
+The paper's central tuning claim is that *control vectors* partition the
+data and thereby determine how a Voodoo program parallelizes (sections 2.2
+and 4).  This pass turns that idea into an executable plan for the
+partition-parallel backend: given a :class:`~repro.core.program.Program`
+and a storage context, it classifies every node into one of four zones
+
+* **GLOBAL** — not downstream of the driving (sliced) ``Load``; evaluated
+  once, sequentially, before the workers start, and shared read-only.
+* **PARTITIONED** — evaluated per chunk on the worker pool.  Every slot of
+  a partitioned value is bit-identical to the slot the sequential
+  interpreter would produce, because the chunk interpreter offsets
+  ``Range`` starts and ``FoldSelect`` positions by the chunk origin.
+* **GFOLD / GSELECT** — folds whose single run spans the whole vector.
+  Workers compute per-chunk *partials* which the executor re-folds
+  (``sum``/``max``/``min``/count) or re-compacts (select positions).  Only
+  exactly-associative combinations are planned this way — a float ``sum``
+  is *not* (chunked rounding differs), so it degrades to SEQ instead.
+* **SEQ** — everything else (scatters, partitions, data-dependent folds,
+  consumers of global-fold results, …); evaluated sequentially after the
+  chunk results have been merged back into full vectors.
+
+Chunk boundaries are aligned to the least common multiple of the static
+run lengths of every partitioned fold's control vector (inferred by the
+compiler's :class:`~repro.compiler.metadata.MetadataPass`), so no control
+run is ever split across workers — the condition under which per-chunk
+folds equal the sequential ones bit for bit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.compiler.metadata import MetadataPass
+from repro.core import ops
+from repro.core.program import Program
+from repro.core.schema import Schema
+from repro.core.typecheck import TypeChecker
+
+GLOBAL = "global"
+PARTITIONED = "partitioned"
+GFOLD = "gfold"
+GSELECT = "gselect"
+SEQ = "seq"
+
+#: zones whose per-chunk outputs the workers must ship back for merging
+_CHUNKED_ZONES = (PARTITIONED, GFOLD, GSELECT)
+
+
+@dataclass
+class PartitionPlan:
+    """Everything the executor needs to run one program partition-parallel.
+
+    Node references use *topological order indices* into ``program.order``
+    (not ``id()``) so a plan survives pickling to process-pool workers.
+    """
+
+    program: Program
+    #: index of the Load node whose vector is sliced into chunks
+    driving: int
+    #: total length of the driving vector
+    extent: int
+    #: zone per node, indexed like ``program.order``
+    zones: list[str]
+    #: chunk boundaries: list of (lo, hi) global row ranges
+    chunks: list[tuple[int, int]] = field(default_factory=list)
+    #: chunk boundary alignment (lcm of partitioned-fold run lengths)
+    align: int = 1
+    #: indices of chunk-zone nodes whose values must be merged
+    frontier: list[int] = field(default_factory=list)
+    #: indices of GLOBAL nodes the workers need, mapped to "full"/"sliced"
+    global_feeds: dict[int, str] = field(default_factory=dict)
+    #: human-readable reason when the plan is not parallel
+    reason: str = ""
+
+    @property
+    def parallel(self) -> bool:
+        return len(self.chunks) > 1
+
+    def zone(self, index: int) -> str:
+        return self.zones[index]
+
+    def chunk_nodes(self) -> list[int]:
+        """Indices of nodes the workers evaluate, in topological order."""
+        return [i for i, z in enumerate(self.zones) if z in _CHUNKED_ZONES]
+
+    def summary(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for zone in self.zones:
+            counts[zone] = counts.get(zone, 0) + 1
+        return counts
+
+
+def chunk_ranges(n: int, workers: int, align: int = 1) -> list[tuple[int, int]]:
+    """Split ``[0, n)`` into up to *workers* contiguous ranges.
+
+    Every boundary except the final ``n`` is a multiple of *align*, so no
+    aligned control run is split.  Chunks are as even as alignment allows;
+    fewer than *workers* chunks come back when ``n`` is small (never an
+    empty chunk).
+    """
+    if n <= 0 or workers <= 1:
+        return [(0, n)] if n > 0 else []
+    align = max(1, align)
+    units = math.ceil(n / align)  # number of indivisible runs
+    parts = min(workers, units)
+    base, extra = divmod(units, parts)
+    ranges: list[tuple[int, int]] = []
+    start = 0
+    for i in range(parts):
+        count = base + (1 if i < extra else 0)
+        end = min(n, (start // align + count) * align)
+        if i == parts - 1:
+            end = n
+        if end > start:
+            ranges.append((start, end))
+        start = end
+    return ranges
+
+
+class PartitionPlanner:
+    """Builds a :class:`PartitionPlan` for a program over a storage context."""
+
+    def __init__(self, program: Program, storage, workers: int):
+        self.program = program
+        self.storage = dict(storage)
+        self.workers = max(1, int(workers))
+        self.order = list(program.order)
+        self.index = {id(node): i for i, node in enumerate(self.order)}
+        self.metadata = MetadataPass(program)
+        self.schemas = self._infer_schemas()
+
+    def _infer_schemas(self) -> dict[int, Schema] | None:
+        try:
+            load_schemas = {name: vec.schema for name, vec in self.storage.items()}
+            checker = TypeChecker(load_schemas)
+            by_id = checker.check(self.program)
+            return {self.index[nid]: schema for nid, schema in (
+                (id(node), by_id[id(node)]) for node in self.order
+            )}
+        except Exception:
+            return None  # untypeable program: plan conservatively
+
+    # -- entry point ---------------------------------------------------------
+
+    def plan(self) -> PartitionPlan:
+        driving = self._pick_driving()
+        if driving is None:
+            return self._sequential("no partitionable Load input")
+        extent = len(self.storage[self.order[driving].name])
+        zones, align, feed_mode = self._classify(driving, extent)
+        plan = PartitionPlan(
+            program=self.program,
+            driving=driving,
+            extent=extent,
+            zones=zones,
+            align=align,
+        )
+        if not any(
+            z in _CHUNKED_ZONES and not isinstance(self.order[i], ops.Load)
+            for i, z in enumerate(zones)
+        ):
+            return self._sequential("no partitionable operators", plan)
+        plan.chunks = chunk_ranges(extent, self.workers, align)
+        if len(plan.chunks) <= 1:
+            return self._sequential("driving vector too small to split", plan)
+        plan.frontier = self._frontier(zones)
+        plan.global_feeds = self._global_feeds(zones, feed_mode)
+        return plan
+
+    def _sequential(self, reason: str, plan: PartitionPlan | None = None) -> PartitionPlan:
+        n = len(self.order)
+        return PartitionPlan(
+            program=self.program,
+            driving=plan.driving if plan else -1,
+            extent=plan.extent if plan else 0,
+            zones=[SEQ] * n,
+            chunks=[],
+            reason=reason,
+        )
+
+    # -- driving-load selection ------------------------------------------------
+
+    def _pick_driving(self) -> int | None:
+        best: tuple[int, int] | None = None
+        for node in self.program.loads():
+            vec = self.storage.get(node.name)
+            if vec is None or len(vec) == 0:
+                continue
+            candidate = (len(vec), self.index[id(node)])
+            if best is None or candidate[0] > best[0]:
+                best = candidate
+        return best[1] if best else None
+
+    # -- zone classification ------------------------------------------------------
+
+    def _classify(self, driving: int, extent: int) -> tuple[list[str], int, dict[int, str]]:
+        zones: list[str] = []
+        align = 1
+        #: GLOBAL node index -> "full" | "sliced": how workers may consume
+        #: it.  The first consumer's claim wins; a conflicting later
+        #: consumer demotes itself to SEQ.  This dict is the single source
+        #: of truth _global_feeds reads back.
+        feed_mode: dict[int, str] = {}
+
+        for i, node in enumerate(self.order):
+            inputs = [self.index[id(x)] for x in node.inputs()]
+            if i == driving:
+                zones.append(PARTITIONED)
+                continue
+            if all(zones[j] == GLOBAL for j in inputs):
+                # no chunked/SEQ ancestor (Loads, Constants, derived
+                # dimension-side values): evaluated once, up front
+                zones.append(GLOBAL)
+                continue
+            if any(zones[j] in (SEQ, GFOLD, GSELECT) for j in inputs):
+                # consumers of merged results always run after the merge
+                zones.append(SEQ)
+                continue
+            zone, run = self._classify_downstream(node, zones, feed_mode, extent)
+            if run > 1:
+                align = align * run // math.gcd(align, run)
+            zones.append(zone)
+        return zones, align, feed_mode
+
+    def _classify_downstream(
+        self, node: ops.Op, zones: list[str], feed_mode: dict[int, str], extent: int
+    ) -> tuple[str, int]:
+        """Zone of a node with at least one PARTITIONED input (run length
+        of its fold control in the second slot, 1 when not a fold)."""
+        if isinstance(node, (ops.Scatter, ops.Partition, ops.Cross)):
+            return SEQ, 1
+        if isinstance(node, (ops.Materialize, ops.Break, ops.Persist)):
+            # value-identity pass-throughs: follow the data source
+            return (
+                (PARTITIONED, 1)
+                if zones[self.index[id(node.source)]] == PARTITIONED
+                else (SEQ, 1)
+            )
+        if isinstance(node, ops.Range):
+            sizeref = node.sizeref
+            if sizeref is not None and zones[self.index[id(sizeref)]] == PARTITIONED:
+                return PARTITIONED, 1  # chunk interpreter offsets the start
+            return SEQ, 1
+        if isinstance(node, ops.Gather):
+            src, pos = self.index[id(node.source)], self.index[id(node.positions)]
+            if zones[pos] != PARTITIONED:
+                return SEQ, 1
+            if zones[src] == PARTITIONED:
+                return PARTITIONED, 1  # worker checks positions stay in-chunk
+            if zones[src] == GLOBAL:
+                if feed_mode.setdefault(src, "full") != "full":
+                    return SEQ, 1  # already promised sliced to someone else
+                return PARTITIONED, 1
+            return SEQ, 1
+        if isinstance(node, ops.FoldOp):
+            return self._classify_fold(node, zones, extent)
+        if isinstance(node, (ops.Binary, ops.Unary, ops.Zip, ops.Project, ops.Upsert)):
+            return self._classify_elementwise(node, zones, feed_mode, extent)
+        return SEQ, 1
+
+    def _classify_elementwise(
+        self, node: ops.Op, zones: list[str], feed_mode: dict[int, str], extent: int
+    ) -> tuple[str, int]:
+        """Element-wise ops partition when every input is either chunked or
+        a broadcast/sliceable global (slot *i* depends on slot *i* only)."""
+        for inp in node.inputs():
+            j = self.index[id(inp)]
+            if zones[j] == PARTITIONED:
+                continue
+            if zones[j] != GLOBAL:
+                return SEQ, 1
+            length = self._static_length(inp)
+            #: output length follows these inputs, so a scalar here would
+            #: shrink the result to length 1 — only a full-extent slice works
+            sets_length = isinstance(node, ops.Zip) or (
+                isinstance(node, ops.Upsert) and inp is node.target
+            )
+            if length == 1 and not sets_length:
+                continue  # scalar broadcast
+            if length == extent:
+                if feed_mode.setdefault(j, "sliced") != "sliced":
+                    return SEQ, 1  # someone else needs this global whole
+                continue
+            return SEQ, 1
+        return PARTITIONED, 1
+
+    def _classify_fold(
+        self, node: ops.FoldOp, zones: list[str], extent: int
+    ) -> tuple[str, int]:
+        if zones[self.index[id(node.source)]] != PARTITIONED:
+            return SEQ, 1
+        run = self._fold_run_length(node, extent)
+        if run is None:
+            return SEQ, 1  # data-dependent control: cannot prove alignment
+        if run == 0 or run >= extent:
+            return self._classify_global_fold(node)
+        if isinstance(node, ops.FoldScan) and self._is_float(node.source, node.s_kp):
+            # chunked float prefix sums round differently than one long
+            # cumsum; integer scans are exact, floats re-run sequentially
+            return SEQ, 1
+        return PARTITIONED, run
+
+    def _classify_global_fold(self, node: ops.FoldOp) -> tuple[str, int]:
+        """A single run spanning the whole vector: merge partials when the
+        combination is exactly associative, else recompute sequentially."""
+        if isinstance(node, ops.FoldSelect):
+            return GSELECT, 1
+        if isinstance(node, ops.FoldCount):
+            return GFOLD, 1  # counts are int64 sums: exact
+        if isinstance(node, ops.FoldAggregate):
+            if node.fn in ("max", "min"):
+                return GFOLD, 1
+            # sum: exact for integers (wrapping), not for floats
+            if not self._is_float(node.source, node.agg_kp):
+                return GFOLD, 1
+        return SEQ, 1
+
+    def _fold_run_length(self, node: ops.FoldOp, extent: int) -> int | None:
+        """Static run length of the fold control: 0 = one global run,
+        ``None`` = unknown (data-dependent)."""
+        if node.fold_kp is None:
+            return 0
+        return self.metadata.static_run_length(node.source, node.fold_kp)
+
+    def _is_float(self, node: ops.Op, path) -> bool | None:
+        """True when attribute dtype is floating (None ⇒ assume float)."""
+        if self.schemas is None:
+            return True
+        schema = self.schemas.get(self.index[id(node)])
+        if schema is None:
+            return True
+        try:
+            return schema[path].kind == "f"
+        except Exception:
+            return True
+
+    def _static_length(self, node: ops.Op) -> int | None:
+        """Length of a GLOBAL value, when statically derivable."""
+        if isinstance(node, ops.Constant):
+            return 1
+        if isinstance(node, ops.Load):
+            vec = self.storage.get(node.name)
+            return None if vec is None else len(vec)
+        if isinstance(node, ops.Range):
+            if node.size is not None:
+                return node.size
+            return self._static_length(node.sizeref)
+        if isinstance(node, (ops.Materialize, ops.Break, ops.Persist)):
+            return self._static_length(node.source)
+        if isinstance(node, (ops.Project, ops.Upsert, ops.Unary)):
+            src = node.source if not isinstance(node, ops.Upsert) else node.target
+            return self._static_length(src)
+        return None
+
+    # -- frontier & feeds ----------------------------------------------------------
+
+    def _frontier(self, zones: list[str]) -> list[int]:
+        """Chunk-zone nodes whose merged value the sequential side needs."""
+        needed: set[int] = set()
+        for i, node in enumerate(self.order):
+            if zones[i] in (GFOLD, GSELECT):
+                needed.add(i)  # always merged (partials are not per-slot values)
+            if isinstance(node, ops.Persist) and zones[i] in _CHUNKED_ZONES:
+                needed.add(i)  # run() captures every Persist into storage
+            if zones[i] != SEQ:
+                continue
+            for inp in node.inputs():
+                j = self.index[id(inp)]
+                if zones[j] in _CHUNKED_ZONES:
+                    needed.add(j)
+        for out in self.program.outputs.values():
+            j = self.index[id(out)]
+            if zones[j] in _CHUNKED_ZONES:
+                needed.add(j)
+        return sorted(needed)
+
+    def _global_feeds(self, zones: list[str], feed_mode: dict[int, str]) -> dict[int, str]:
+        """GLOBAL values the workers read, and whether to pre-slice them.
+
+        The slice/full decision was already made (and enforced) during
+        classification; nodes with no recorded claim (length-1 constants,
+        pass-through controls) are fed whole.
+        """
+        feeds: dict[int, str] = {}
+        for i, node in enumerate(self.order):
+            if zones[i] not in _CHUNKED_ZONES:
+                continue
+            for inp in node.inputs():
+                j = self.index[id(inp)]
+                if zones[j] == GLOBAL:
+                    feeds[j] = feed_mode.get(j, "full")
+        return feeds

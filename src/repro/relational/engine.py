@@ -8,15 +8,16 @@ decoded, order-by/limit applied as post-processing, as in section 5.2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
-from repro.compiler import CompiledProgram, CompilerOptions, compile_program
+from repro.compiler import CompiledProgram, CompilerOptions, ExecutionOptions, compile_program
 from repro.core.keypath import Keypath
 from repro.errors import TranslationError
 from repro.hardware.cost import CostReport
 from repro.hardware.trace import Trace
+from repro.parallel import ParallelInterpreter
 from repro.relational.algebra import Query
 from repro.relational.translate import Translator
 from repro.storage.columnstore import ColumnStore
@@ -47,12 +48,18 @@ class ResultTable:
 
 @dataclass
 class QueryResult:
-    """Result plus everything observability needs."""
+    """Result plus everything observability needs.
+
+    ``compiled`` is ``None`` when the query ran on the partition-parallel
+    interpreter backend (``parallelism=``), which executes real kernels
+    on real cores instead of simulating a device — there is no priced
+    trace to report, so ``trace``/``cost`` are empty.
+    """
 
     table: ResultTable
     trace: Trace
     cost: CostReport
-    compiled: CompiledProgram
+    compiled: CompiledProgram | None
 
     @property
     def milliseconds(self) -> float:
@@ -60,13 +67,21 @@ class QueryResult:
 
 
 class VoodooEngine:
-    """Executes relational queries through the Voodoo backend."""
+    """Executes relational queries through the Voodoo backend.
+
+    ``parallelism=N`` (N > 1) switches execution to the partition-parallel
+    interpreter: queries are translated as usual, then split into chunks
+    along control-vector runs and run on an N-wide worker pool, producing
+    results bit-identical to the sequential backends.
+    """
 
     def __init__(
         self,
         store: ColumnStore,
         options: CompilerOptions | None = None,
         grain: int | None = None,
+        parallelism: int | None = None,
+        execution: ExecutionOptions | None = None,
     ):
         self.store = store
         self.options = options or CompilerOptions()
@@ -75,6 +90,9 @@ class VoodooEngine:
             # partitions in flight than CPUs (the paper's tunability knob)
             grain = 256 if self.options.device == "gpu" else 4096
         self.grain = grain
+        if execution is None and parallelism is not None:
+            execution = ExecutionOptions(workers=parallelism)
+        self.execution = execution
 
     def vectors(self):
         """The Load context; rebuilt per call so late-registered auxiliary
@@ -83,16 +101,34 @@ class VoodooEngine:
 
     # -- execution -----------------------------------------------------------
 
+    def translate(self, query: Query):
+        return Translator(self.store, grain=self.grain).translate_query(query)
+
     def compile(self, query: Query) -> CompiledProgram:
-        program = Translator(self.store, grain=self.grain).translate_query(query)
-        return compile_program(program, self.options)
+        return compile_program(self.translate(query), self.options)
 
     def execute(self, query: Query) -> QueryResult:
+        if self.execution is not None and self.execution.workers > 1:
+            return self._execute_parallel(query)
         compiled = self.compile(query)
         outputs, trace = compiled.run(self.vectors())
         table = self._extract(query, outputs["result"])
         return QueryResult(
             table=table, trace=trace, cost=compiled.price(trace), compiled=compiled
+        )
+
+    def _execute_parallel(self, query: Query) -> QueryResult:
+        """Multicore end-to-end: translate, then chunk over a worker pool."""
+        interpreter = ParallelInterpreter(
+            self.vectors(), workers=self.execution.workers, pool=self.execution.pool
+        )
+        outputs = interpreter.run(self.translate(query))
+        table = self._extract(query, outputs["result"])
+        return QueryResult(
+            table=table,
+            trace=Trace(),
+            cost=CostReport(device=f"{self.execution.workers}-core pool"),
+            compiled=None,
         )
 
     def query(self, query: Query) -> ResultTable:

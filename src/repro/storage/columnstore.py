@@ -8,8 +8,8 @@ exploits" to size hash tables and bypass collision handling (section 5.2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterator, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Iterator, Sequence
 
 import numpy as np
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.baselines import HyperEngine, OcelotEngine
-from repro.tpch import QUERIES, REFERENCES, build, generate
+from repro.tpch import REFERENCES, build, generate
 
 
 @pytest.fixture(scope="module")

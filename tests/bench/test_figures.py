@@ -3,7 +3,7 @@
 import pytest
 
 from repro.bench import ablations, figure01, figure14, figure15, figure16, tpch_compare
-from repro.bench.harness import BarSet, Series, SeriesSet, geometric_mean
+from repro.bench.harness import BarSet, SeriesSet, geometric_mean
 
 N = 1 << 17
 
@@ -45,6 +45,7 @@ class TestFigure01:
         assert flat.max_y < 2.0 * flat.min_y  # flat within 2x across sweep
 
 
+@pytest.mark.slow
 class TestFigure14:
     def test_cpu_shape(self):
         figure = figure14.run(device="cpu-mt", n_lookups=1 << 23)

@@ -9,7 +9,6 @@ pipelines — and every output vector must match exactly, values and
 """
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -1,6 +1,5 @@
 """Compiler analyses: control-vector metadata and fragment assignment."""
 
-import pytest
 from fractions import Fraction
 
 from repro.compiler import CompilerOptions, FragmentPlan, MetadataPass

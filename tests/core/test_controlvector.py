@@ -27,6 +27,12 @@ class TestAlgebra:
     def test_multiply(self):
         assert IDENTITY.multiply(3).step == Fraction(3)
 
+    def test_multiply_fractional_step_rejected(self):
+        # k*floor(i/d) != floor(i*k/d): no (start, step, cap) form keeps
+        # the runs of a fractional-step vector after multiplication
+        with pytest.raises(ControlVectorError):
+            IDENTITY.divide(6).multiply(3)
+
     def test_add(self):
         assert IDENTITY.add(5).start == 5
 

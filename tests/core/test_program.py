@@ -4,7 +4,7 @@ import pytest
 
 from repro.core import Builder, Schema, kp
 from repro.core import ops
-from repro.core.program import Interner, Program, clone_with_inputs, topological_order
+from repro.core.program import Interner, Program, clone_with_inputs
 from repro.errors import ProgramError
 
 

@@ -4,8 +4,8 @@ import numpy as np
 import pytest
 
 from repro.core import Builder, Schema
+from repro.core.typecheck import infer_schemas
 from repro.errors import TypeCheckError
-from repro.core.typecheck import TypeChecker, infer_schemas
 
 SCHEMAS = {
     "t": Schema({".i": "int32", ".f": "float32", ".b": "bool"}),

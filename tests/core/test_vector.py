@@ -1,12 +1,13 @@
 """Structured Vector behaviour: ε masks, zip/project/take, runinfo."""
 
+from fractions import Fraction
+
 import numpy as np
 import pytest
 
-from repro.core import Schema, StructuredVector, kp
+from repro.core import Schema, StructuredVector
 from repro.core.controlvector import RunInfo
 from repro.errors import SchemaError, VoodooError
-from fractions import Fraction
 
 
 @pytest.fixture

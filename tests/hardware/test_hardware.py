@@ -5,14 +5,13 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.errors import VoodooError
 from repro.hardware import (
     CPU_1T,
     CPU_MT,
     GPU,
     CacheHierarchySimulator,
     CostModel,
-    DeviceProfile,
-    Trace,
     TraceEvent,
     TraceRecorder,
     TwoBitPredictor,
@@ -26,7 +25,6 @@ from repro.hardware import (
 )
 from repro.hardware import cache
 from repro.hardware.cachesim import random_addresses, sequential_addresses
-from repro.errors import VoodooError
 
 
 class TestHitModel:

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import Builder, Schema, StructuredVector
+from repro.core import Builder, StructuredVector
 from repro.errors import ExecutionError
 from repro.interpreter import Interpreter
 from repro.interpreter.engine import apply_binary
@@ -149,7 +149,6 @@ class TestUpsertScatterGather:
 
     def test_scatter_gather_roundtrip(self, b, store):
         t = b.load("t")
-        perm = b.range(t, start=5, step=-1, out=".pos") if False else None
         # build explicit reversed positions via arithmetic: pos = 5 - id
         ids = b.range(t)
         pos = b.subtract(b.constant(5), ids, out=".pos", right_kp=".id")

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.core import StructuredVector
 from repro.errors import SQLError, TranslationError
 from repro.relational import (
     AggSpec,
@@ -25,7 +26,6 @@ from repro.relational import (
 )
 from repro.relational.expressions import columns_used
 from repro.storage import ColumnStore, Table
-from repro.core import StructuredVector
 
 
 @pytest.fixture(scope="module")
