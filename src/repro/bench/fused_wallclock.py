@@ -1,0 +1,245 @@
+"""Wall-clock benchmark: does fusion pay off in real seconds?
+
+Everything else in :mod:`repro.bench` reports *simulated* device seconds;
+this module measures actual Python/NumPy wall-clock of the four execution
+backends on the same programs:
+
+* ``interpreter`` — the reference bulk processor;
+* ``compiled_traced`` — the simulating compiled backend (the seed
+  behaviour: ground-truth semantics + full trace emission);
+* ``compiled_untraced`` — the same kernels with the recorder disabled
+  (``fastpath=False``), isolating pure tracing overhead;
+* ``compiled_fused`` — the fused fast path
+  (:mod:`repro.compiler.rt_fast`): raw-array kernels, virtual
+  control vectors, uniform-run fold shortcuts, zero accounting.
+
+Results are written to ``BENCH_fused.json`` so CI can track the
+wall-clock trajectory per PR; ``summary`` holds the headline numbers
+(fused-vs-traced speedups) and ``plan_cache`` the translate+codegen cost
+a warm :class:`~repro.relational.engine.VoodooEngine` avoids.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench.harness import geometric_mean
+from repro.compiler import CompilerOptions, compile_program
+from repro.core import Builder, Schema
+from repro.core.vector import StructuredVector
+from repro.interpreter import Interpreter
+from repro.relational.engine import VoodooEngine
+from repro.tpch import build, generate
+
+MODES = ("interpreter", "compiled_traced", "compiled_untraced", "compiled_fused")
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _time_backends(program, storage, repeats: int) -> dict[str, float]:
+    fused = compile_program(program, CompilerOptions())
+    plain = compile_program(program, CompilerOptions(fastpath=False))
+    interpreter = Interpreter(storage)
+    times = {
+        "interpreter": _best_of(lambda: interpreter.run(program), repeats),
+        "compiled_traced": _best_of(lambda: plain.run(storage), repeats),
+        "compiled_untraced": _best_of(
+            lambda: plain.run(storage, collect_trace=False), repeats
+        ),
+        "compiled_fused": _best_of(
+            lambda: fused.run(storage, collect_trace=False), repeats
+        ),
+    }
+    times["speedup_fused_vs_traced"] = (
+        times["compiled_traced"] / times["compiled_fused"]
+        if times["compiled_fused"] > 0 else 0.0
+    )
+    return times
+
+
+# ------------------------------------------------------- microbenchmarks
+
+
+def micro_store(n: int, seed: int = 0) -> dict[str, StructuredVector]:
+    rng = np.random.default_rng(seed)
+    return {
+        "facts": StructuredVector(
+            n,
+            {
+                ".v1": rng.random(n, dtype=np.float32),
+                ".v2": rng.random(n, dtype=np.float32),
+                ".v3": rng.random(n, dtype=np.float32),
+                ".v4": rng.random(n, dtype=np.float32),
+            },
+        )
+    }
+
+
+def _schema() -> Schema:
+    return Schema({".v1": "float32", ".v2": "float32",
+                   ".v3": "float32", ".v4": "float32"})
+
+
+def selection_micro(n: int, selectivity: float = 0.1, grain: int = 8192):
+    """``select sum(v2) from facts where v1 <= θ`` (Figure 1/15 shape)."""
+    b = Builder({"facts": _schema()})
+    facts = b.load("facts")
+    pred = b.less_equal(
+        facts.project(".v1"), b.constant(float(selectivity), dtype="float32"),
+        out=".sel",
+    )
+    ctrl = b.divide(b.range(facts), b.constant(grain), out=".chunk")
+    with_sel = b.zip(b.zip(facts, pred), ctrl)
+    positions = b.fold_select(with_sel, sel_kp=".sel", fold_kp=".chunk", out=".pos")
+    payload = b.gather(facts.project(".v2"), positions, pos_kp=".pos")
+    partial = b.fold_sum(b.zip(payload, ctrl), agg_kp=".v2", fold_kp=".chunk", out=".part")
+    total = b.fold_sum(partial, agg_kp=".part", out=".total")
+    return b.build(total=total)
+
+
+def projection_micro(n: int, selectivity: float = 0.2, grain: int = 8192):
+    """Q6-style projection chain over selected rows:
+    ``sum(v2 * (1 - v3) * (1 + v4)) where v1 <= θ``."""
+    b = Builder({"facts": _schema()})
+    facts = b.load("facts")
+    pred = b.less_equal(
+        facts.project(".v1"), b.constant(float(selectivity), dtype="float32"),
+        out=".sel",
+    )
+    ctrl = b.divide(b.range(facts), b.constant(grain), out=".chunk")
+    with_sel = b.zip(b.zip(facts, pred), ctrl)
+    positions = b.fold_select(with_sel, sel_kp=".sel", fold_kp=".chunk", out=".pos")
+    payload = b.gather(facts, positions, pos_kp=".pos")
+    one = b.constant(1.0, dtype="float64")
+    disc = b.subtract(one, payload.project(".v3"), out=".disc")
+    tax = b.add(one, payload.project(".v4"), out=".tax")
+    revenue = b.multiply(
+        b.multiply(payload.project(".v2"), disc, out=".rev0"), tax, out=".rev"
+    )
+    partial = b.fold_sum(b.zip(revenue, ctrl), agg_kp=".rev", fold_kp=".chunk", out=".part")
+    total = b.fold_sum(partial, agg_kp=".part", out=".total")
+    return b.build(total=total)
+
+
+def run_micro(n: int, repeats: int = 5) -> dict:
+    storage = micro_store(n)
+    return {
+        "selection": _time_backends(selection_micro(n), storage, repeats),
+        "projection": _time_backends(projection_micro(n), storage, repeats),
+    }
+
+
+# ------------------------------------------------------------- TPC-H
+
+
+def run_tpch(scale: float, queries, repeats: int = 3, seed: int = 42) -> dict:
+    store = generate(scale, seed=seed)
+    engine = VoodooEngine(store, CompilerOptions())
+    results: dict[str, dict] = {}
+    for number in queries:
+        query = build(store, number)
+        program = engine.translate(query)
+        results[f"Q{number}"] = _time_backends(program, engine.vectors(), repeats)
+    return results
+
+
+def run_plan_cache(scale: float, query_number: int = 19, seed: int = 42) -> dict:
+    """Cold vs warm engine latency: what the plan cache saves per query."""
+    store = generate(scale, seed=seed)
+    engine = VoodooEngine(store, CompilerOptions(), tracing=False)
+    query = build(store, query_number)
+    start = time.perf_counter()
+    engine.execute(query)
+    cold = time.perf_counter() - start
+    warm = _best_of(lambda: engine.execute(build(store, query_number)), 3)
+    info = engine.cache_info()
+    return {
+        "query": f"Q{query_number}",
+        "cold_seconds": cold,
+        "warm_seconds": warm,
+        "saved_seconds": cold - warm,
+        "hits": info["hits"],
+        "misses": info["misses"],
+    }
+
+
+# ------------------------------------------------------------ trajectory
+
+
+def run_all(
+    n: int = 1 << 20,
+    scale: float = 0.05,
+    queries=(1, 4, 5, 6, 8, 9, 10, 12, 14, 19),
+    repeats: int = 3,
+) -> dict:
+    micro = run_micro(n, repeats=max(repeats, 3))
+    tpch = run_tpch(scale, queries, repeats=repeats)
+    cache = run_plan_cache(scale)
+    speedups = [row["speedup_fused_vs_traced"] for row in tpch.values()]
+    summary = {
+        "micro_selection_speedup": micro["selection"]["speedup_fused_vs_traced"],
+        "micro_projection_speedup": micro["projection"]["speedup_fused_vs_traced"],
+        "tpch_geomean_speedup": geometric_mean(speedups),
+        "tpch_queries_at_1_5x": sum(1 for s in speedups if s >= 1.5),
+        "tpch_queries": len(speedups),
+    }
+    return {
+        "meta": {
+            "micro_n": n,
+            "tpch_scale": scale,
+            "repeats": repeats,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "timings_are": "best-of-k wall-clock seconds",
+        },
+        "micro": micro,
+        "tpch": tpch,
+        "plan_cache": cache,
+        "summary": summary,
+    }
+
+
+def write_trajectory(results: dict, path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(results, indent=2, sort_keys=False) + "\n")
+    return path
+
+
+def render(results: dict) -> str:
+    lines = ["fused wall-clock (seconds, best-of-k; speedup = traced / fused)"]
+    header = f"{'workload':>12} | " + " | ".join(f"{m:>17}" for m in MODES) + " |  speedup"
+    lines += [header, "-" * len(header)]
+
+    def row(name, data):
+        cells = " | ".join(f"{data[m]:17.4f}" for m in MODES)
+        return f"{name:>12} | {cells} | {data['speedup_fused_vs_traced']:7.2f}x"
+
+    for name, data in results["micro"].items():
+        lines.append(row(name, data))
+    for name, data in results["tpch"].items():
+        lines.append(row(name, data))
+    cache = results["plan_cache"]
+    lines.append(
+        f"plan cache ({cache['query']}): cold {cache['cold_seconds']*1e3:.1f} ms -> "
+        f"warm {cache['warm_seconds']*1e3:.1f} ms"
+    )
+    summary = results["summary"]
+    lines.append(
+        f"summary: selection {summary['micro_selection_speedup']:.2f}x, "
+        f"projection {summary['micro_projection_speedup']:.2f}x, "
+        f"TPC-H geomean {summary['tpch_geomean_speedup']:.2f}x "
+        f"({summary['tpch_queries_at_1_5x']}/{summary['tpch_queries']} queries >= 1.5x)"
+    )
+    return "\n".join(lines)

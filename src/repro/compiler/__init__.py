@@ -13,6 +13,7 @@ from repro.compiler.opencl_emit import emit_opencl
 from repro.compiler.optimizer import cse, optimize
 from repro.compiler.options import CompilerOptions, ExecutionOptions
 from repro.compiler.rt import Runtime, RtVal
+from repro.compiler.rt_fast import FusedRuntime, FusedVal
 
 __all__ = [
     "CompiledProgram",
@@ -28,4 +29,6 @@ __all__ = [
     "ExecutionOptions",
     "Runtime",
     "RtVal",
+    "FusedRuntime",
+    "FusedVal",
 ]

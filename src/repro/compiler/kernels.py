@@ -1,0 +1,275 @@
+"""Shared raw-array fold kernels for the compiling backend.
+
+Two kinds of kernel live here:
+
+* **Uniform-run fast kernels** used by the fused fast path
+  (:mod:`repro.compiler.rt_fast`): when the compiler statically knows a
+  fold's control vector has uniform runs of length ``L`` (or a single run
+  spanning the vector), the generic run machinery of
+  :mod:`repro.interpreter.semantics` — forward-fill, run-start detection,
+  cumulative run ids — is unnecessary.  These kernels compute the same
+  result directly from ``L``.  They are *bit-identical* to the generic
+  path: integer/boolean outputs are order-independent, and floating-point
+  sums accumulate in the exact element order of ``np.add.at`` (via
+  ``np.bincount``, which also adds weights in input order).
+
+* **The scattered-fold core** shared by the simulated runtime
+  (:class:`repro.compiler.rt.Runtime`) and the fused runtime: folding over
+  a *virtually* scattered vector (paper Figure 11) in input order into
+  partition-aligned output slots.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.interpreter import semantics
+
+# -------------------------------------------------------- uniform-run folds
+
+
+def fold_select_uniform(
+    selected: np.ndarray,
+    sel_present: np.ndarray | None,
+    run_length: int,
+    n: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """``semantics.fold_select`` for uniform runs of ``run_length``.
+
+    ``run_length == 0`` means a single run spanning the vector.  Works on
+    qualifying positions only — no O(n) run-id machinery.
+    """
+    qualifies = selected != 0
+    if sel_present is not None:
+        qualifies = qualifies & sel_present
+    hits = np.flatnonzero(qualifies)
+    out = np.zeros(n, dtype=np.int64)
+    present = np.zeros(n, dtype=bool)
+    if len(hits) == 0:
+        return out, present
+    if run_length == 0:
+        out[: len(hits)] = hits
+        present[: len(hits)] = True
+        return out, present
+    hit_runs = hits // run_length
+    # rank of each hit within its run (segment-local enumeration)
+    boundaries = np.flatnonzero(np.diff(hit_runs) != 0) + 1
+    segment_start = np.zeros(len(hits), dtype=np.int64)
+    segment_start[boundaries] = boundaries
+    np.maximum.accumulate(segment_start, out=segment_start)
+    rank = np.arange(len(hits), dtype=np.int64) - segment_start
+    slots = hit_runs * run_length + rank
+    out[slots] = hits
+    present[slots] = True
+    return out, present
+
+
+def fold_aggregate_uniform(
+    fn: str,
+    values: np.ndarray,
+    mask: np.ndarray | None,
+    run_length: int,
+    n: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """``semantics.fold_aggregate`` for uniform runs of ``run_length``.
+
+    ``run_length == 0`` means a single run.  Callers must only pass run
+    lengths that divide ``n`` (or 1) — exactly the static-metadata cases
+    the fragment planner admits.  Float sums go through ``np.bincount``,
+    which accumulates weights sequentially in input order — the same
+    order (and float64 accumulator) as the ``np.add.at`` ground truth, so
+    results are bit-identical.  Integer sums are order-independent.
+    """
+    is_float = values.dtype.kind == "f"
+    acc_dtype = (np.float64 if is_float else np.int64) if fn == "sum" else values.dtype
+    out = np.zeros(n, dtype=acc_dtype)
+    out_present = np.zeros(n, dtype=bool)
+    if n == 0:
+        return out, out_present
+    L = run_length if run_length else n
+    n_runs = n // L
+    starts = np.arange(n_runs, dtype=np.int64) * L
+
+    if fn == "sum":
+        if is_float:
+            if mask is None:
+                rids = np.arange(n, dtype=np.int64) // L
+                per_run = np.bincount(
+                    rids, weights=values.astype(np.float64, copy=False),
+                    minlength=n_runs,
+                )
+                nonempty = np.ones(n_runs, dtype=bool)
+            else:
+                use_idx = np.flatnonzero(mask)
+                use_runs = use_idx // L
+                per_run = np.bincount(
+                    use_runs,
+                    weights=values[use_idx].astype(np.float64, copy=False),
+                    minlength=n_runs,
+                )
+                nonempty = np.zeros(n_runs, dtype=bool)
+                nonempty[use_runs] = True
+        else:
+            vals = values.astype(np.int64, copy=False)
+            if mask is None:
+                per_run = vals.reshape(n_runs, L).sum(axis=1)
+                nonempty = np.ones(n_runs, dtype=bool)
+            else:
+                per_run = np.where(mask, vals, 0).reshape(n_runs, L).sum(axis=1)
+                nonempty = mask.reshape(n_runs, L).any(axis=1)
+    else:
+        ufunc = np.maximum if fn == "max" else np.minimum
+        info = np.finfo if acc_dtype.kind == "f" else np.iinfo
+        fill = info(acc_dtype).min if fn == "max" else info(acc_dtype).max
+        vals = values.astype(acc_dtype, copy=False)
+        if mask is None:
+            per_run = ufunc.reduceat(vals, starts)
+            nonempty = np.ones(n_runs, dtype=bool)
+        else:
+            per_run = ufunc.reduceat(np.where(mask, vals, fill), starts)
+            nonempty = mask.reshape(n_runs, L).any(axis=1)
+
+    out[starts] = per_run
+    out_present[starts] = nonempty
+    return out, out_present
+
+
+def fold_count_uniform(
+    counted_present: np.ndarray | None,
+    run_length: int,
+    n: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """``semantics.fold_count`` for uniform runs of ``run_length``."""
+    out = np.zeros(n, dtype=np.int64)
+    out_present = np.zeros(n, dtype=bool)
+    if n == 0:
+        return out, out_present
+    L = run_length if run_length else n
+    n_runs = n // L
+    starts = np.arange(n_runs, dtype=np.int64) * L
+    if counted_present is None:
+        out[starts] = L
+        out_present[starts] = True
+    else:
+        counts = counted_present.reshape(n_runs, L).sum(axis=1)
+        out[starts] = counts
+        out_present[starts] = counts > 0
+    return out, out_present
+
+
+def fold_scan_uniform(
+    values: np.ndarray,
+    mask: np.ndarray | None,
+    run_length: int,
+    n: int,
+    inclusive: bool,
+) -> tuple[np.ndarray, np.ndarray]:
+    """``semantics.fold_scan`` for uniform runs of ``run_length``.
+
+    Uses the same global ``cumsum`` and per-run rebase arithmetic as the
+    generic kernel (identical float operations in identical order), only
+    computing run starts/ids from ``run_length`` instead of the control
+    array.
+    """
+    acc_dtype = np.float64 if values.dtype.kind == "f" else np.int64
+    if n == 0:
+        return np.zeros(0, dtype=acc_dtype), np.zeros(0, dtype=bool)
+    vals = values.astype(acc_dtype, copy=True)
+    if mask is not None:
+        vals[~mask] = 0
+    cumulative = np.cumsum(vals)
+    L = run_length if run_length else n
+    starts = np.arange(n // L, dtype=np.int64) * L
+    base_at_start = cumulative[starts] - vals[starts]
+    base = np.repeat(base_at_start, L)
+    scan = cumulative - base
+    if not inclusive:
+        scan = scan - vals
+    return scan, np.ones(n, dtype=bool)
+
+
+def gather_compacted(
+    positions: np.ndarray,
+    pos_present: np.ndarray,
+    source_len: int,
+    columns: dict,
+    masks: dict,
+) -> tuple[dict, dict]:
+    """``semantics.gather`` for sparsely-present positions.
+
+    Fold-select position vectors are mostly ε; resolving only the present
+    slots makes the gather's random-access work proportional to the hit
+    count instead of the vector length (the zero-filled ε slots come from
+    ``np.zeros``).  Output values and masks are bit-identical to the
+    generic kernel.
+    """
+    n = len(positions)
+    idx = np.flatnonzero(pos_present)
+    taken_pos = positions[idx]
+    in_bounds = (taken_pos >= 0) & (taken_pos < source_len)
+    if not in_bounds.all():
+        idx = idx[in_bounds]
+        taken_pos = taken_pos[in_bounds]
+    valid = np.zeros(n, dtype=bool)
+    valid[idx] = True
+    out_cols: dict = {}
+    out_masks: dict = {}
+    for path, col in columns.items():
+        taken = np.zeros(n, dtype=col.dtype)
+        taken[idx] = col[taken_pos]
+        out_cols[path] = taken
+        m = masks.get(path)
+        if m is None:
+            out_masks[path] = valid
+        else:
+            out_mask = valid.copy()
+            out_mask[idx] = m[taken_pos]
+            out_masks[path] = out_mask
+    return out_cols, out_masks
+
+
+# ---------------------------------------------------------- scattered folds
+
+
+def scattered_fold_aggregate(
+    fn: str,
+    positions: np.ndarray,
+    size: int,
+    control: np.ndarray | None,
+    values: np.ndarray,
+    mask: np.ndarray | None,
+    order: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Fold over a virtually scattered vector (paper Figure 11).
+
+    Aggregates in input order directly into partition-aligned output
+    slots: no data movement for the scatter itself.  Returns
+    ``(result, present, n_groups)``; ``n_groups`` feeds the simulated
+    runtime's aggregation-table cost accounting.  ``order`` is the
+    memoized stable destination order of present rows — the ε-drop and
+    ordering rule lives only in
+    :meth:`repro.compiler.rt.VirtualScatter.fold_order`.
+    """
+    pos = positions
+    dest_control = None
+    if control is not None:
+        dest_control = control[: len(pos)][order]
+    ordered_values = values[: len(pos)][order]
+    ordered_mask = None if mask is None else mask[: len(pos)][order]
+    result_sorted, present_sorted = semantics.fold_aggregate(
+        fn, dest_control, ordered_values, ordered_mask
+    )
+
+    result = np.zeros(size, dtype=result_sorted.dtype)
+    present = np.zeros(size, dtype=bool)
+    starts = semantics.run_offsets(dest_control, len(ordered_values))
+    dest_slots = pos[order][starts] if len(starts) else np.zeros(0, dtype=np.int64)
+    if len(dest_slots):
+        # ε padding belongs to the *preceding* run and leading padding
+        # to the first run (forward-fill semantics, Figure 7): the
+        # first run's result always lands at destination slot 0.
+        dest_slots = dest_slots.copy()
+        dest_slots[0] = 0
+    result[dest_slots] = result_sorted[starts]
+    present[dest_slots] = present_sorted[starts]
+    return result, present, len(starts)

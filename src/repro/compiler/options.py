@@ -35,6 +35,13 @@ class CompilerOptions:
     fuse:
         Inline operators between pipeline breakers into one fragment; off
         = operator-at-a-time (Ocelot-style) execution, for ablations.
+    fastpath:
+        Also generate the *fused wall-clock* kernels (raw-array NumPy,
+        no per-operator value wrapping, no trace machinery) and dispatch
+        untraced runs (``run(collect_trace=False)``) to them.  Outputs
+        are bit-identical to the simulated path; only the operation
+        trace (empty) differs.  Ignored when ``fuse`` is off — the
+        operator-at-a-time ablation must execute operator-at-a-time.
     parallel_grain:
         Default intent for folds whose control vector carries no static
         metadata; ``None`` lets the backend pick per device.
@@ -45,6 +52,7 @@ class CompilerOptions:
     virtual_scatter: bool = True
     slot_suppression: bool = True
     fuse: bool = True
+    fastpath: bool = True
     parallel_grain: int | None = None
 
     def __post_init__(self) -> None:

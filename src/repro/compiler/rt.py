@@ -25,6 +25,7 @@ from fractions import Fraction
 
 import numpy as np
 
+from repro.compiler import kernels
 from repro.core.controlvector import RunInfo, constant_run
 from repro.core.keypath import Keypath
 from repro.core.vector import StructuredVector
@@ -32,7 +33,7 @@ from repro.errors import ControlVectorError, ExecutionError
 from repro.hardware.device import DeviceProfile
 from repro.hardware.trace import TraceEvent, TraceRecorder
 from repro.interpreter import semantics
-from repro.interpreter.engine import apply_binary
+from repro.interpreter.engine import apply_binary, apply_unary
 
 _SAMPLE = 65536  # positions sampled when measuring gather footprints
 _LINE = 64
@@ -45,6 +46,21 @@ class VirtualScatter:
     positions: np.ndarray
     pos_present: np.ndarray | None
     size: int
+    #: memoized stable destination order (all folds over one scatter share
+    #: the same sort; computing it per fold dominated grouped queries)
+    _order: np.ndarray | None = field(default=None, repr=False, compare=False)
+
+    def fold_order(self) -> np.ndarray:
+        """Row order sorting present rows by destination position."""
+        if self._order is None:
+            keep = np.arange(len(self.positions))
+            if self.pos_present is not None:
+                # ε positions never land anywhere: drop them before
+                # ordering so their stale control values cannot split
+                # destination runs.
+                keep = keep[self.pos_present]
+            self._order = keep[np.argsort(self.positions[keep], kind="stable")]
+        return self._order
 
 
 @dataclass
@@ -173,6 +189,8 @@ class Runtime:
         return max(1, n)
 
     def _emit(self, **kwargs) -> None:
+        if not self.recorder.enabled:
+            return
         event = TraceEvent(**kwargs)
         if self.scale != 1.0:
             scaled = event.scaled(self.scale)
@@ -185,6 +203,8 @@ class Runtime:
 
     def _charge_read(self, val: RtVal, path: Keypath, stream_footprint: int = 0) -> None:
         """Charge a streaming read of a materialized attribute, once per kernel."""
+        if not self.recorder.enabled:
+            return
         if val.vector is None or not val.mat_attrs:
             return
         if stream_footprint == 0 and val.resident_footprint:
@@ -217,6 +237,8 @@ class Runtime:
     def _materialize_cost(self, vector: StructuredVector, n_useful: int | None = None,
                           stream_footprint: int = 0, label: str = "materialize") -> None:
         """Charge writing a vector to memory (a fragment seam)."""
+        if not self.recorder.enabled:
+            return
         if n_useful is None and self.slot_suppression:
             counts = [
                 int(vector.present(p).sum()) for p in vector.paths
@@ -285,16 +307,17 @@ class Runtime:
         out = StructuredVector(scat.size, out_cols, out_masks)
         # Honest accounting: a materialized scatter is random write traffic
         # (only present rows are actually written).
-        n_written = val.length if scat.pos_present is None else int(scat.pos_present.sum())
-        self._emit(
-            label="scatter.materialize",
-            elements=val.length,
-            random_writes=n_written * len(base.paths),
-            random_write_footprint=scat.size * base.schema.item_nbytes,
-            int_ops=val.length,
-            extent=self._extent_dp(val.length),
-            intent=1,
-        )
+        if self.recorder.enabled:
+            n_written = val.length if scat.pos_present is None else int(scat.pos_present.sum())
+            self._emit(
+                label="scatter.materialize",
+                elements=val.length,
+                random_writes=n_written * len(base.paths),
+                random_write_footprint=scat.size * base.schema.item_nbytes,
+                int_ops=val.length,
+                extent=self._extent_dp(val.length),
+                intent=1,
+            )
         return RtVal(vector=out, length=scat.size, mat_attrs=frozenset(out.paths))
 
     # -- shape ---------------------------------------------------------------------------
@@ -345,48 +368,29 @@ class Runtime:
         mb = _fit_mask(mb, n)
         result = apply_binary(fn, a, b)
         mask = _and_masks(ma, mb)
-        n_work = n if mask is None else int(mask.sum())
-        is_float = result.dtype.kind == "f" or a.dtype.kind == "f" or b.dtype.kind == "f"
-        self._emit(
-            label=f"binary.{fn}",
-            elements=n_work,
-            float_ops=n_work if is_float else 0,
-            int_ops=0 if is_float else n_work,
-            extent=self._extent_dp(n),
-            intent=1,
-        )
+        if self.recorder.enabled:
+            n_work = n if mask is None else int(mask.sum())
+            is_float = result.dtype.kind == "f" or a.dtype.kind == "f" or b.dtype.kind == "f"
+            self._emit(
+                label=f"binary.{fn}",
+                elements=n_work,
+                float_ops=n_work if is_float else 0,
+                int_ops=0 if is_float else n_work,
+                extent=self._extent_dp(n),
+                intent=1,
+            )
         vector = StructuredVector(n, {out: result}, {out: mask})
         return RtVal(vector=vector, length=n)
 
     @staticmethod
     def _derive(fn: str, info: RunInfo, other: int) -> RunInfo | None:
-        try:
-            if fn == "Divide":
-                return info.divide(other)
-            if fn == "Modulo":
-                return info.modulo(other)
-            if fn == "Multiply":
-                return info.multiply(other)
-            if fn == "Add":
-                return info.add(other)
-        except (ControlVectorError, ZeroDivisionError):
-            return None
-        return None
+        return derive_runinfo(fn, info, other)
 
     def unary(self, fn: str, out: Keypath, source: RtVal, kp: Keypath,
               dtype: str | None) -> RtVal:
         self._charge_read(source, kp)
         a = source.attr(kp)
-        mask = source.present(kp)
-        if fn == "LogicalNot":
-            result = ~(a != 0)
-        elif fn == "Negate":
-            result = -a.astype(np.int64) if a.dtype.kind == "u" else -a
-        elif fn == "IsPresent":
-            result = np.ones(len(a), dtype=bool) if mask is None else mask.copy()
-            mask = None
-        else:  # Cast
-            result = a.astype(np.dtype(dtype))
+        result, mask = apply_unary(fn, a, source.present(kp), dtype)
         self._emit(
             label=f"unary.{fn}",
             elements=len(a),
@@ -485,6 +489,8 @@ class Runtime:
                        pos_mask: np.ndarray | None, interleaved: bool) -> None:
         """Random-access accounting with *measured* footprint and hot-line
         fraction (this is what prices Figures 14 and 16)."""
+        if not self.recorder.enabled:
+            return
         n = len(pos)
         if pos_mask is not None:
             n = int(pos_mask.sum())
@@ -664,35 +670,36 @@ class Runtime:
             control = _uniform_control(n, static_rl)
         values, present = semantics.fold_select(control, sel, sel_mask, cmask)
 
-        hits = int(present.sum())
-        selectivity = hits / n if n else 0.0
-        intent = static_rl if static_rl else (self._intent if control is None else self._intent)
-        extent = self._extent(n, None if static_rl in (None,) else (static_rl or 0))
-        if self.selection == "branching":
-            # A fused branching select never materializes a position buffer:
-            # the if-body consumes qualifying elements in registers.  The
-            # cost is the data-dependent branch itself.
-            self._emit(
-                label="foldselect.branching",
-                elements=n,
-                int_ops=2 * n,
-                branches=n,
-                taken_fraction=selectivity,
-                extent=extent,
-                intent=intent or 1,
-                simd=False,
-            )
-        else:
-            self._emit(
-                label="foldselect.branch-free",
-                elements=n,
-                int_ops=3 * n,
-                bytes_written_seq=n * 8,
-                extent=extent,
-                intent=intent or 1,
-                simd=False,
-                warp_serial=True,
-            )
+        if self.recorder.enabled:
+            hits = int(present.sum())
+            selectivity = hits / n if n else 0.0
+            intent = static_rl if static_rl else (self._intent if control is None else self._intent)
+            extent = self._extent(n, None if static_rl in (None,) else (static_rl or 0))
+            if self.selection == "branching":
+                # A fused branching select never materializes a position
+                # buffer: the if-body consumes qualifying elements in
+                # registers.  The cost is the data-dependent branch itself.
+                self._emit(
+                    label="foldselect.branching",
+                    elements=n,
+                    int_ops=2 * n,
+                    branches=n,
+                    taken_fraction=selectivity,
+                    extent=extent,
+                    intent=intent or 1,
+                    simd=False,
+                )
+            else:
+                self._emit(
+                    label="foldselect.branch-free",
+                    elements=n,
+                    int_ops=3 * n,
+                    bytes_written_seq=n * 8,
+                    extent=extent,
+                    intent=intent or 1,
+                    simd=False,
+                    warp_serial=True,
+                )
         vec = StructuredVector(n, {out: values}, {out: present})
         return RtVal(vector=vec, length=n)
 
@@ -708,17 +715,18 @@ class Runtime:
         if control is None and static_rl is not None and static_rl != 0:
             control = _uniform_control(n, static_rl)
         result, present = semantics.fold_aggregate(fn, control, values, mask, cmask)
-        n_work = n if mask is None else int(mask.sum())
-        is_float = values.dtype.kind == "f"
-        intent = static_rl if static_rl is not None else 1
-        self._emit(
-            label=f"fold{fn}",
-            elements=n_work,
-            float_ops=n_work if is_float else 0,
-            int_ops=0 if is_float else n_work,
-            extent=self._extent(n, intent),
-            intent=intent or n,
-        )
+        if self.recorder.enabled:
+            n_work = n if mask is None else int(mask.sum())
+            is_float = values.dtype.kind == "f"
+            intent = static_rl if static_rl is not None else 1
+            self._emit(
+                label=f"fold{fn}",
+                elements=n_work,
+                float_ops=n_work if is_float else 0,
+                int_ops=0 if is_float else n_work,
+                extent=self._extent(n, intent),
+                intent=intent or n,
+            )
         vec = StructuredVector(n, {out: result}, {out: present})
         return RtVal(vector=vec, length=n)
 
@@ -735,41 +743,19 @@ class Runtime:
                      mat_attrs=val.mat_attrs)
         self._charge_read(base, agg_kp)
         n = val.length
-        pos = scat.positions
-        keep_rows = np.arange(len(pos))
-        if scat.pos_present is not None:
-            # ε positions never land anywhere: drop them before ordering so
-            # their stale control values cannot split destination runs.
-            keep_rows = keep_rows[scat.pos_present]
-        order = keep_rows[np.argsort(pos[keep_rows], kind="stable")]
-        dest_control = None
+        control = None
         if fold_kp is not None:
             control = (
                 base.runinfo(fold_kp).materialize(n)
                 if base.runinfo(fold_kp) is not None
                 else base.attr(fold_kp)
             )
-            dest_control = control[: len(pos)][order]
-        values = base.attr(agg_kp)[: len(pos)][order]
-        mask = base.present(agg_kp)
-        if mask is not None:
-            mask = mask[: len(pos)][order]
-        result_sorted, present_sorted = semantics.fold_aggregate(fn, dest_control, values, mask)
+        values = base.attr(agg_kp)
+        result, present, groups = kernels.scattered_fold_aggregate(
+            fn, scat.positions, scat.size,
+            control, values, base.present(agg_kp), order=scat.fold_order(),
+        )
 
-        result = np.zeros(scat.size, dtype=result_sorted.dtype)
-        present = np.zeros(scat.size, dtype=bool)
-        starts = semantics.run_offsets(dest_control, len(values))
-        dest_slots = pos[order][starts] if len(starts) else np.zeros(0, dtype=np.int64)
-        if len(dest_slots):
-            # ε padding belongs to the *preceding* run and leading padding
-            # to the first run (forward-fill semantics, Figure 7): the
-            # first run's result always lands at destination slot 0.
-            dest_slots = dest_slots.copy()
-            dest_slots[0] = 0
-        result[dest_slots] = result_sorted[starts]
-        present[dest_slots] = present_sorted[starts]
-
-        groups = len(starts)
         is_float = values.dtype.kind == "f"
         self._emit(
             label=f"fold{fn}.scattered",
@@ -862,6 +848,22 @@ class Runtime:
 
 
 # ------------------------------------------------------------------ helpers
+
+
+def derive_runinfo(fn: str, info: RunInfo, other: int) -> RunInfo | None:
+    """Symbolic control-vector arithmetic (shared by both runtimes)."""
+    try:
+        if fn == "Divide":
+            return info.divide(other)
+        if fn == "Modulo":
+            return info.modulo(other)
+        if fn == "Multiply":
+            return info.multiply(other)
+        if fn == "Add":
+            return info.add(other)
+    except (ControlVectorError, ZeroDivisionError):
+        return None
+    return None
 
 
 def _broadcast(a: np.ndarray, b: np.ndarray):

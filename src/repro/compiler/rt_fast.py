@@ -1,0 +1,487 @@
+"""Fused wall-clock runtime for the compiling backend.
+
+:class:`repro.compiler.rt.Runtime` computes ground-truth results *and*
+emits the operation trace the cost model prices — every operator wraps
+its result in a :class:`StructuredVector` so the accounting can inspect
+it.  That is the right tool for simulation, but it pays real wall-clock
+for bookkeeping the default execution path never uses.
+
+This module is the fast path: the same generated kernel shape runs over
+:class:`FusedVal` values — bare ``{keypath: ndarray}`` dictionaries with
+shared (never copied) presence masks and virtual :class:`RunInfo`
+attributes that stay symbolic until an operator actually needs a buffer.
+No trace events, no per-operator ``StructuredVector`` construction, no
+footprint sampling; folds whose control vectors carry static uniform-run
+metadata dispatch to the direct kernels in
+:mod:`repro.compiler.kernels` instead of the generic run machinery.
+
+Bit-identity contract: every output vector equals the interpreter's (and
+the simulated runtime's) output exactly — values, dtypes and ε masks —
+enforced by ``tests/compiler/test_fused.py``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+
+from repro.compiler import kernels
+from repro.compiler.rt import VirtualScatter, _broadcast, _fit_mask, derive_runinfo
+from repro.core.controlvector import RunInfo, constant_run
+from repro.core.keypath import Keypath
+from repro.core.vector import StructuredVector
+from repro.errors import ExecutionError
+from repro.interpreter import semantics
+from repro.interpreter.engine import apply_binary, apply_unary
+
+
+class FusedVal:
+    """A fused runtime value: raw column arrays plus shared masks.
+
+    ``cols`` maps leaf keypaths to plain NumPy arrays; ``masks`` holds the
+    presence mask per keypath (``None`` = dense); ``virtual`` holds
+    attributes that exist only as :class:`RunInfo` metadata and are
+    materialized on demand.  Masks are *shared, never mutated*: every
+    consumer that combines masks allocates a fresh array.
+    """
+
+    __slots__ = ("length", "cols", "masks", "virtual", "scatter")
+
+    def __init__(self, length, cols, masks, virtual=None, scatter=None):
+        self.length = length
+        self.cols = cols
+        self.masks = masks
+        self.virtual = virtual if virtual is not None else {}
+        self.scatter = scatter
+
+    def paths(self):
+        return tuple(self.cols) + tuple(self.virtual)
+
+    def attr(self, path: Keypath) -> np.ndarray:
+        info = self.virtual.get(path)
+        if info is not None:
+            return info.materialize(self.length)
+        try:
+            return self.cols[path]
+        except KeyError:
+            raise ExecutionError(
+                f"no attribute {path} in fused value with {list(self.cols)}"
+            ) from None
+
+    def mask(self, path: Keypath) -> np.ndarray | None:
+        if path in self.virtual:
+            return None
+        return self.masks.get(path)
+
+    def runinfo(self, path: Keypath) -> RunInfo | None:
+        return self.virtual.get(path)
+
+    def scalar(self, path: Keypath):
+        """The value of a length-1 dense attribute, else None."""
+        if self.length != 1:
+            return None
+        info = self.virtual.get(path)
+        if info is not None:
+            return info.value(0)
+        if path in self.cols and self.masks.get(path) is None:
+            return self.cols[path][0]
+        return None
+
+
+def extract(val: FusedVal, path: Keypath) -> tuple[np.ndarray, np.ndarray | None]:
+    """(array, mask) of one attribute; virtuals materialize on demand."""
+    info = val.virtual.get(path)
+    if info is not None:
+        return info.materialize(val.length), None
+    try:
+        return val.cols[path], val.masks.get(path)
+    except KeyError:
+        raise ExecutionError(
+            f"no attribute {path} in fused value with {list(val.cols)}"
+        ) from None
+
+
+def fused_binary(fn, a, ma, b, mb):
+    """One raw binary kernel: broadcast, apply, share-combine masks."""
+    a, b, n = _broadcast(a, b)
+    result = apply_binary(fn, a, b)
+    ma = _fit_mask(ma, n)
+    mb = _fit_mask(mb, n)
+    if ma is None:
+        mask = mb
+    elif mb is None:
+        mask = ma
+    else:
+        mask = ma & mb
+    return result, mask
+
+
+def fused_unary(fn, a, mask, dtype):
+    """One raw unary kernel (the shared unary semantics)."""
+    return apply_unary(fn, a, mask, dtype)
+
+
+def literal(dtype: str, value) -> np.ndarray:
+    """A length-1 constant operand (broadcasts like the simulated path)."""
+    return np.array([value], dtype=np.dtype(dtype))
+
+
+class FusedRuntime:
+    """Execution context for fused kernels: semantics only, zero tracing.
+
+    Method names and signatures mirror :class:`repro.compiler.rt.Runtime`
+    so the code generator can emit the same call shapes for both paths.
+    """
+
+    def __init__(self, storage, virtual_scatter: bool = True):
+        self.storage = storage
+        self.virtual_scatter_enabled = virtual_scatter
+        self.outputs: dict[str, StructuredVector] = {}
+
+    # -- maintenance --------------------------------------------------------
+
+    def load(self, name: str) -> FusedVal:
+        try:
+            vector = self.storage[name]
+        except KeyError:
+            raise ExecutionError(f"Load: no vector named {name!r} in storage") from None
+        cols = {p: vector.attr(p) for p in vector.paths}
+        masks = {
+            p: (None if vector.is_dense(p) else vector.present(p)) for p in vector.paths
+        }
+        return FusedVal(len(vector), cols, masks)
+
+    def output(self, name: str, val: FusedVal) -> StructuredVector:
+        vector = self.force(val)
+        self.outputs[name] = vector
+        return vector
+
+    def wrap(self, path: Keypath, array: np.ndarray, mask: np.ndarray | None) -> FusedVal:
+        """Promote a raw (array, mask) chain value back to a FusedVal."""
+        return FusedVal(len(array), {path: array}, {path: mask})
+
+    def force(self, val: FusedVal) -> StructuredVector:
+        """Materialize into a plain Structured Vector (output boundary)."""
+        if val.scatter is not None:
+            val = self._apply_scatter(val)
+        columns = dict(val.cols)
+        present = dict(val.masks)
+        for path, info in val.virtual.items():
+            columns[path] = info.materialize(val.length)
+            present[path] = None
+        return StructuredVector(val.length, columns, present)
+
+    def _dense_parts(self, val: FusedVal):
+        """(cols, masks) with virtuals materialized and scatter applied."""
+        if val.scatter is not None:
+            val = self._apply_scatter(val)
+        cols = dict(val.cols)
+        masks = dict(val.masks)
+        for path, info in val.virtual.items():
+            cols[path] = info.materialize(val.length)
+            masks[path] = None
+        return cols, masks
+
+    def _apply_scatter(self, val: FusedVal) -> FusedVal:
+        scat = val.scatter
+        cols, masks = self._dense_parts(
+            FusedVal(val.length, val.cols, val.masks, dict(val.virtual))
+        )
+        out_cols, out_masks = semantics.scatter(
+            scat.positions, scat.pos_present, scat.size, cols, masks
+        )
+        return FusedVal(scat.size, out_cols, _normalized(out_masks))
+
+    # -- shape --------------------------------------------------------------
+
+    def range_(self, out: Keypath, start: int, step: int, length: int) -> FusedVal:
+        info = RunInfo(start=start, step=Fraction(step))
+        return FusedVal(length, {}, {}, {out: info})
+
+    def constant(self, out: Keypath, value, dtype: str) -> FusedVal:
+        if isinstance(value, (int, bool)) and np.dtype(dtype).kind in "iub":
+            return FusedVal(1, {}, {}, {out: constant_run(int(value))})
+        return FusedVal(1, {out: literal(dtype, value)}, {out: None})
+
+    def cross(self, kp1: Keypath, left: FusedVal, kp2: Keypath, right: FusedVal) -> FusedVal:
+        n = left.length * right.length
+        left_pos = np.repeat(np.arange(left.length, dtype=np.int64), right.length)
+        right_pos = np.tile(np.arange(right.length, dtype=np.int64), left.length)
+        return FusedVal(n, {kp1: left_pos, kp2: right_pos}, {kp1: None, kp2: None})
+
+    # -- element-wise -------------------------------------------------------
+
+    def binary(self, fn: str, out: Keypath, left: FusedVal, kp1: Keypath,
+               right: FusedVal, kp2: Keypath) -> FusedVal:
+        # Symbolic fast path: control-vector arithmetic never materializes.
+        info = left.runinfo(kp1)
+        rscalar = right.scalar(kp2)
+        integral = isinstance(rscalar, (int, np.integer, bool))
+        if info is not None and rscalar is not None and integral:
+            derived = derive_runinfo(fn, info, int(rscalar))
+            if derived is not None:
+                return FusedVal(left.length, {}, {}, {out: derived})
+        a, ma = extract(left, kp1)
+        b, mb = extract(right, kp2)
+        result, mask = fused_binary(fn, a, ma, b, mb)
+        return FusedVal(len(result), {out: result}, {out: mask})
+
+    def unary(self, fn: str, out: Keypath, source: FusedVal, kp: Keypath,
+              dtype: str | None) -> FusedVal:
+        a, mask = extract(source, kp)
+        result, mask = fused_unary(fn, a, mask, dtype)
+        return FusedVal(len(result), {out: result}, {out: mask})
+
+    # -- structural ---------------------------------------------------------
+
+    def zip(self, left: FusedVal, kp1: Keypath | None, out1: Keypath | None,
+            right: FusedVal, kp2: Keypath | None, out2: Keypath | None) -> FusedVal:
+        lv = self._side(left, kp1, out1)
+        rv = self._side(right, kp2, out2)
+        n = min(lv.length, rv.length)
+        cols: dict[Keypath, np.ndarray] = {}
+        masks: dict[Keypath, np.ndarray | None] = {}
+        virtual: dict[Keypath, RunInfo] = {}
+        for side in (lv, rv):
+            for path, array in side.cols.items():
+                if path in cols:
+                    raise ExecutionError(f"Zip would duplicate attribute {path}")
+                cols[path] = array if len(array) == n else array[:n]
+                m = side.masks.get(path)
+                masks[path] = m if (m is None or len(m) == n) else m[:n]
+            virtual.update(side.virtual)
+        return FusedVal(n, cols, masks, virtual)
+
+    def _side(self, val: FusedVal, kp: Keypath | None, out: Keypath | None) -> FusedVal:
+        if kp is None:
+            return val
+        virtual: dict[Keypath, RunInfo] = {}
+        for path, info in val.virtual.items():
+            if path == kp:
+                virtual[out] = info
+            elif path.startswith(kp):
+                virtual[path.rebase(kp, out)] = info
+        cols: dict[Keypath, np.ndarray] = {}
+        masks: dict[Keypath, np.ndarray | None] = {}
+        for path, array in val.cols.items():
+            if path == kp:
+                new = out
+            elif path.startswith(kp):
+                new = path.rebase(kp, out)
+            else:
+                continue
+            cols[new] = array
+            masks[new] = val.masks.get(path)
+        if not cols and not virtual:
+            raise ExecutionError(f"Zip/Project: keypath {kp} not found")
+        return FusedVal(val.length, cols, masks, virtual)
+
+    def project(self, out: Keypath, source: FusedVal, kp: Keypath) -> FusedVal:
+        return self._side(source, kp, out)
+
+    def upsert(self, target: FusedVal, out: Keypath, value: FusedVal, kp: Keypath) -> FusedVal:
+        info = value.runinfo(kp)
+        if info is not None and value.length >= target.length:
+            virtual = dict(target.virtual)
+            virtual[out] = info
+            cols = {p: a for p, a in target.cols.items() if p != out}
+            masks = {p: m for p, m in target.masks.items() if p != out}
+            return FusedVal(target.length, cols, masks, virtual)
+        array, mask = extract(value, kp)
+        n = target.length
+        if len(array) == 1 and n != 1:
+            array = np.broadcast_to(array, (n,)).copy()
+            mask = None
+        elif len(array) < n:
+            raise ExecutionError(f"Upsert: value length {len(array)} < target {n}")
+        cols, masks = self._dense_parts(target)
+        cols[out] = array[:n]
+        masks[out] = None if mask is None else mask[:n]
+        return FusedVal(n, cols, masks)
+
+    def gather(self, source: FusedVal, positions: FusedVal, pos_kp: Keypath) -> FusedVal:
+        if source.scatter is not None:
+            # land the scatter first so bounds checks see the real length
+            # (mirrors Runtime.gather's force())
+            source = self._apply_scatter(source)
+        pos, pos_mask = extract(positions, pos_kp)
+        cols, masks = self._dense_parts(source)
+        if pos_mask is not None:
+            out_cols, out_masks = kernels.gather_compacted(
+                pos, pos_mask, source.length, cols, masks
+            )
+        else:
+            out_cols, out_masks = semantics.gather(
+                pos, pos_mask, source.length, cols, masks
+            )
+        return FusedVal(len(pos), out_cols, _normalized(out_masks))
+
+    def scatter(self, data: FusedVal, positions: FusedVal, pos_kp: Keypath,
+                size: int, keep_virtual: bool) -> FusedVal:
+        pos, pos_mask = extract(positions, pos_kp)
+        n = min(data.length, len(pos))
+        scat = VirtualScatter(
+            positions=pos[:n],
+            pos_present=None if pos_mask is None else pos_mask[:n],
+            size=size,
+        )
+        val = FusedVal(data.length, data.cols, data.masks, dict(data.virtual), scat)
+        if keep_virtual and self.virtual_scatter_enabled:
+            return val
+        return self._apply_scatter(val)
+
+    def materialize(self, source: FusedVal, chunk: int | None) -> FusedVal:
+        # X100-style chunking only affects the cost model; semantically
+        # Materialize is identity (pending scatters must land, though).
+        if source.scatter is not None:
+            return self._apply_scatter(source)
+        return source
+
+    def break_(self, source: FusedVal) -> FusedVal:
+        if source.scatter is not None:
+            return self._apply_scatter(source)
+        return source
+
+    def seam(self, val: FusedVal, useful: int | None = None) -> FusedVal:
+        # Fragment seams exist for the cost model; the fused path keeps
+        # values raw (and virtuals symbolic) straight through them.
+        return val
+
+    def begin_kernel(self, fragment: int, intent: int, segmented: bool) -> None:
+        return None
+
+    def partition(self, out: Keypath, source: FusedVal, kp: Keypath,
+                  pivots: FusedVal, pivot_kp: Keypath) -> FusedVal:
+        values, mask = extract(source, kp)
+        piv, _ = extract(pivots, pivot_kp)
+        positions, out_present = semantics.partition_positions(values, mask, piv)
+        present = None if out_present.all() else out_present
+        return FusedVal(len(values), {out: positions}, {out: present})
+
+    # -- folds --------------------------------------------------------------
+
+    def _control_arrays(self, val: FusedVal, fold_kp: Keypath | None, n: int):
+        """(control, control_present, static_run_length) — mirrors
+        :meth:`Runtime._control_arrays` without the read accounting."""
+        if fold_kp is None:
+            return None, None, 0
+        info = val.runinfo(fold_kp)
+        if info is not None:
+            rl = info.run_length(n)
+            if rl >= n:
+                return None, None, 0
+            if (n % rl) == 0 or rl == 1:
+                return None, None, rl
+            return info.materialize(n), None, None
+        return val.attr(fold_kp), val.mask(fold_kp), None
+
+    def fold_select(self, out: Keypath, val: FusedVal, sel_kp: Keypath,
+                    fold_kp: Keypath | None) -> FusedVal:
+        if val.scatter is not None:
+            val = self._apply_scatter(val)
+        n = val.length
+        control, cmask, static_rl = self._control_arrays(val, fold_kp, n)
+        sel, sel_mask = extract(val, sel_kp)
+        if control is None:
+            values, present = kernels.fold_select_uniform(
+                sel, sel_mask, static_rl or 0, n
+            )
+        else:
+            values, present = semantics.fold_select(control, sel, sel_mask, cmask)
+        return FusedVal(n, {out: values}, {out: present})
+
+    def fold_aggregate(self, fn: str, out: Keypath, val: FusedVal, agg_kp: Keypath,
+                       fold_kp: Keypath | None) -> FusedVal:
+        if val.scatter is not None:
+            return self._fold_scattered(fn, out, val, agg_kp, fold_kp)
+        n = val.length
+        control, cmask, static_rl = self._control_arrays(val, fold_kp, n)
+        values, mask = extract(val, agg_kp)
+        if control is None:
+            result, present = kernels.fold_aggregate_uniform(
+                fn, values, mask, static_rl or 0, n
+            )
+        else:
+            result, present = semantics.fold_aggregate(fn, control, values, mask, cmask)
+        return FusedVal(n, {out: result}, {out: present})
+
+    def _fold_scattered(self, fn: str, out: Keypath, val: FusedVal,
+                        agg_kp: Keypath, fold_kp: Keypath | None,
+                        values: np.ndarray | None = None,
+                        mask: np.ndarray | None = None) -> FusedVal:
+        scat = val.scatter
+        n = val.length
+        control = None
+        if fold_kp is not None:
+            info = val.runinfo(fold_kp)
+            control = info.materialize(n) if info is not None else val.attr(fold_kp)
+        if values is None:
+            values, mask = extract(val, agg_kp)
+        result, present, _ = kernels.scattered_fold_aggregate(
+            fn, scat.positions, scat.size, control, values, mask,
+            order=scat.fold_order(),
+        )
+        return FusedVal(scat.size, {out: result}, {out: present})
+
+    def fold_scan(self, out: Keypath, val: FusedVal, s_kp: Keypath,
+                  fold_kp: Keypath | None, inclusive: bool) -> FusedVal:
+        if val.scatter is not None:
+            val = self._apply_scatter(val)
+        n = val.length
+        control, cmask, static_rl = self._control_arrays(val, fold_kp, n)
+        values, mask = extract(val, s_kp)
+        if control is None:
+            result, _ = kernels.fold_scan_uniform(
+                values, mask, static_rl or 0, n, inclusive
+            )
+        else:
+            result, _ = semantics.fold_scan(control, values, mask, inclusive, cmask)
+        return FusedVal(n, {out: result}, {out: None})
+
+    def fold_count(self, out: Keypath, val: FusedVal, counted_kp: Keypath | None,
+                   fold_kp: Keypath | None) -> FusedVal:
+        kp = counted_kp or _single_path(val)
+        if val.scatter is not None:
+            # count == sum of ones; reuse the scattered sum kernel
+            counted_mask = None if kp is None else val.mask(kp)
+            ones = np.ones(val.length, dtype=np.int64)
+            return self._fold_scattered(
+                "sum", out, val, kp, fold_kp, values=ones, mask=counted_mask
+            )
+        n = val.length
+        control, cmask, static_rl = self._control_arrays(val, fold_kp, n)
+        counted_mask = None if kp is None else val.mask(kp)
+        if control is None:
+            result, present = kernels.fold_count_uniform(
+                counted_mask, static_rl or 0, n
+            )
+        else:
+            result, present = semantics.fold_count(control, n, counted_mask, cmask)
+        return FusedVal(n, {out: result}, {out: present})
+
+
+# ------------------------------------------------------------------ helpers
+
+
+def _single_path(val: FusedVal):
+    paths = val.paths()
+    return paths[0] if len(paths) == 1 else None
+
+
+def _normalized(masks: dict) -> dict:
+    """Drop all-True masks (what the StructuredVector constructor does on
+    the simulated path) so downstream folds take the dense fast lanes."""
+    return {
+        p: (None if (m is not None and m.all()) else m) for p, m in masks.items()
+    }
+
+
+#: names injected into generated fused kernel source
+FUSED_NAMESPACE = {
+    "np": np,
+    "_fb": fused_binary,
+    "_fu": fused_unary,
+    "_ext": extract,
+    "_lit": literal,
+}

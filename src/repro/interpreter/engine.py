@@ -26,8 +26,25 @@ from repro.interpreter import semantics
 class Interpreter:
     """Evaluates a :class:`Program` over a named-vector storage context."""
 
+    #: per-class operator dispatch table, built once on first use
+    #: (``{op class: unbound _eval_* method}``) — string-based getattr
+    #: dispatch per node was a measurable cost on programs with many
+    #: small nodes
+    _dispatch: dict[type, object] | None = None
+
     def __init__(self, storage: Mapping[str, StructuredVector] | None = None):
         self._storage = dict(storage or {})
+
+    @classmethod
+    def _dispatch_table(cls) -> dict[type, object]:
+        if cls.__dict__.get("_dispatch") is None:
+            table = {}
+            for op_class in _walk_op_classes(ops.Op):
+                method = getattr(cls, f"_eval_{op_class.__name__.lower()}", None)
+                if method is not None:
+                    table[op_class] = method
+            cls._dispatch = table
+        return cls._dispatch
 
     def store(self, name: str, vector: StructuredVector) -> None:
         self._storage[name] = vector
@@ -36,8 +53,12 @@ class Interpreter:
         """Execute and return the named outputs (Persist ops also captured)."""
         values: dict[int, StructuredVector] = {}
         persisted: dict[str, StructuredVector] = {}
+        dispatch = self._dispatch_table()
         for node in program:
-            result = self._eval(node, values)
+            method = dispatch.get(type(node))
+            if method is None:
+                raise ExecutionError(f"interpreter does not implement {node.opname}")
+            result = method(self, node, values)
             values[id(node)] = result
             if isinstance(node, ops.Persist):
                 persisted[node.name] = result
@@ -49,10 +70,10 @@ class Interpreter:
     # -- dispatch ------------------------------------------------------------
 
     def _eval(self, node: ops.Op, values: dict[int, StructuredVector]) -> StructuredVector:
-        method = getattr(self, f"_eval_{type(node).__name__.lower()}", None)
+        method = self._dispatch_table().get(type(node))
         if method is None:
             raise ExecutionError(f"interpreter does not implement {node.opname}")
-        return method(node, values)
+        return method(self, node, values)
 
     @staticmethod
     def _get(values: dict[int, StructuredVector], node: ops.Op) -> StructuredVector:
@@ -158,16 +179,7 @@ class Interpreter:
         src = self._get(values, node.source)
         a = src.attr(node.source_kp)
         mask = None if src.is_dense(node.source_kp) else src.present(node.source_kp)
-        if node.fn == "LogicalNot":
-            result = ~(a != 0)
-        elif node.fn == "Negate":
-            result = -a.astype(np.int64) if a.dtype.kind == "u" else -a
-        elif node.fn == "IsPresent":
-            # ε-ness reified as a dense boolean (used for semi-joins).
-            result = np.ones(len(a), dtype=bool) if mask is None else mask.copy()
-            mask = None
-        else:  # Cast
-            result = a.astype(np.dtype(node.dtype))
+        result, mask = apply_unary(node.fn, a, mask, node.dtype)
         return StructuredVector(len(a), {node.out: result}, {node.out: mask})
 
     def _eval_zip(self, node: ops.Zip, values) -> StructuredVector:
@@ -282,6 +294,32 @@ class Interpreter:
             counted_mask = source.present(counted_kp)
         out, present = semantics.fold_count(control, len(source), counted_mask, cmask)
         return StructuredVector(len(out), {node.out: out}, {node.out: present})
+
+
+def apply_unary(
+    fn: str, a: np.ndarray, mask: np.ndarray | None, dtype: str | None
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """Shared element-wise implementation of the unary operators.
+
+    Returns ``(result, mask)``; the mask is passed through unchanged
+    (shared, not copied) except for ``IsPresent``, which reifies ε-ness
+    as a dense boolean (used for semi-joins).  All three backends call
+    this so the operator semantics live in exactly one place.
+    """
+    if fn == "LogicalNot":
+        return ~(a != 0), mask
+    if fn == "Negate":
+        return (-a.astype(np.int64) if a.dtype.kind == "u" else -a), mask
+    if fn == "IsPresent":
+        return (np.ones(len(a), dtype=bool) if mask is None else mask.copy()), None
+    return a.astype(np.dtype(dtype)), mask  # Cast
+
+
+def _walk_op_classes(base: type):
+    """All concrete operator classes reachable from *base*."""
+    yield base
+    for sub in base.__subclasses__():
+        yield from _walk_op_classes(sub)
 
 
 def apply_binary(fn: str, a: np.ndarray, b: np.ndarray) -> np.ndarray:

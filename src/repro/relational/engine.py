@@ -8,7 +8,7 @@ decoded, order-by/limit applied as post-processing, as in section 5.2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields, is_dataclass
 
 import numpy as np
 
@@ -21,6 +21,33 @@ from repro.parallel import ParallelInterpreter
 from repro.relational.algebra import Query
 from repro.relational.translate import Translator
 from repro.storage.columnstore import ColumnStore
+
+
+def structural_fingerprint(obj) -> tuple:
+    """Hashable structural identity of a plan/expression tree.
+
+    Two independently built but structurally identical :class:`Query`
+    objects fingerprint equal — this, not object identity, is what lets
+    the plan cache serve repeated queries.  Works over the dataclass
+    nodes of :mod:`repro.relational.algebra` / ``expressions`` (including
+    nested plans inside ``ScalarOf``) plus primitive leaves.
+    """
+    if isinstance(obj, (str, int, float, bool, frozenset, bytes)) or obj is None:
+        return (type(obj).__name__, obj)
+    if is_dataclass(obj) and not isinstance(obj, type):
+        return (
+            type(obj).__name__,
+            tuple((f.name, structural_fingerprint(getattr(obj, f.name))) for f in fields(obj)),
+        )
+    if isinstance(obj, dict):
+        return ("dict", tuple(
+            (structural_fingerprint(k), structural_fingerprint(v)) for k, v in obj.items()
+        ))
+    if isinstance(obj, (list, tuple)):
+        return ("seq", tuple(structural_fingerprint(v) for v in obj))
+    if isinstance(obj, np.ndarray):
+        return ("ndarray", obj.dtype.str, obj.shape, obj.tobytes())
+    return ("repr", repr(obj))
 
 
 @dataclass
@@ -73,6 +100,17 @@ class VoodooEngine:
     interpreter: queries are translated as usual, then split into chunks
     along control-vector runs and run on an N-wide worker pool, producing
     results bit-identical to the sequential backends.
+
+    ``tracing=False`` runs queries on the fused wall-clock kernels
+    (:mod:`repro.compiler.rt_fast`): identical results, no operation
+    trace, no simulated cost — the serving configuration.
+
+    Compilation artifacts are memoized in a **plan cache** keyed on the
+    relational query *structure* (not object identity), the store's
+    schema fingerprint, and every option that influences code generation
+    (device, selection strategy, fuse/fastpath, grain, workers).  A
+    repeated query skips translate + optimize + codegen entirely;
+    changing the schema or any knob invalidates the entry.
     """
 
     def __init__(
@@ -82,6 +120,8 @@ class VoodooEngine:
         grain: int | None = None,
         parallelism: int | None = None,
         execution: ExecutionOptions | None = None,
+        tracing: bool = True,
+        plan_cache: bool = True,
     ):
         self.store = store
         self.options = options or CompilerOptions()
@@ -93,11 +133,46 @@ class VoodooEngine:
         if execution is None and parallelism is not None:
             execution = ExecutionOptions(workers=parallelism)
         self.execution = execution
+        self.tracing = tracing
+        self._plan_cache: dict | None = {} if plan_cache else None
+        self._program_cache: dict = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     def vectors(self):
         """The Load context; rebuilt per call so late-registered auxiliary
         vectors (LIKE membership tables) are always visible."""
         return self.store.vectors()
+
+    # -- plan cache ----------------------------------------------------------
+
+    def cache_key(self, query: Query) -> tuple:
+        """Everything a compiled plan depends on (satisfies invalidation:
+        schema changes and option changes produce different keys)."""
+        return (
+            structural_fingerprint(query),
+            self.store.fingerprint(),
+            self.options,
+            self.execution,
+            self.grain,
+        )
+
+    def cache_info(self) -> dict[str, int]:
+        """Shared hit/miss counters plus per-cache sizes (``size`` = compiled
+        plans for the sequential path, ``programs`` = translated programs
+        for the parallel path)."""
+        size = len(self._plan_cache) if self._plan_cache is not None else 0
+        return {
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "size": size,
+            "programs": len(self._program_cache),
+        }
+
+    def clear_plan_cache(self) -> None:
+        if self._plan_cache is not None:
+            self._plan_cache.clear()
+        self._program_cache.clear()
 
     # -- execution -----------------------------------------------------------
 
@@ -105,24 +180,56 @@ class VoodooEngine:
         return Translator(self.store, grain=self.grain).translate_query(query)
 
     def compile(self, query: Query) -> CompiledProgram:
-        return compile_program(self.translate(query), self.options)
+        if self._plan_cache is None:
+            return compile_program(self.translate(query), self.options)
+        key = self.cache_key(query)
+        compiled = self._plan_cache.get(key)
+        if compiled is not None:
+            self.cache_hits += 1
+            return compiled
+        self.cache_misses += 1
+        compiled = compile_program(self.translate(query), self.options)
+        self._plan_cache[key] = compiled
+        return compiled
 
     def execute(self, query: Query) -> QueryResult:
         if self.execution is not None and self.execution.workers > 1:
             return self._execute_parallel(query)
         compiled = self.compile(query)
+        if not self.tracing:
+            outputs, trace = compiled.run(self.vectors(), collect_trace=False)
+            table = self._extract(query, outputs["result"])
+            return QueryResult(
+                table=table,
+                trace=trace,
+                cost=CostReport(device=f"{self.options.device} (untraced)"),
+                compiled=compiled,
+            )
         outputs, trace = compiled.run(self.vectors())
         table = self._extract(query, outputs["result"])
         return QueryResult(
             table=table, trace=trace, cost=compiled.price(trace), compiled=compiled
         )
 
+    def _translate_cached(self, query: Query):
+        if self._plan_cache is None:
+            return self.translate(query)
+        key = self.cache_key(query)
+        program = self._program_cache.get(key)
+        if program is not None:
+            self.cache_hits += 1
+            return program
+        self.cache_misses += 1
+        program = self.translate(query)
+        self._program_cache[key] = program
+        return program
+
     def _execute_parallel(self, query: Query) -> QueryResult:
         """Multicore end-to-end: translate, then chunk over a worker pool."""
         interpreter = ParallelInterpreter(
             self.vectors(), workers=self.execution.workers, pool=self.execution.pool
         )
-        outputs = interpreter.run(self.translate(query))
+        outputs = interpreter.run(self._translate_cached(query))
         table = self._extract(query, outputs["result"])
         return QueryResult(
             table=table,

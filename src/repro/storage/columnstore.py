@@ -141,6 +141,35 @@ class ColumnStore:
             raise StorageError(f"table {table.name!r} already exists")
         self._tables[table.name] = table
 
+    def fingerprint(self) -> tuple:
+        """Hashable structural summary of the base tables.
+
+        Keys the engine's plan cache: adding a table (or loading a store
+        with different shapes) produces a different fingerprint and
+        invalidates cached plans.  Auxiliary vectors are *derived* caches
+        (LIKE membership tables registered during translation) and are
+        deliberately excluded — they are deterministic functions of the
+        tables and would otherwise invalidate the cache on first use.
+
+        Contract: tables are immutable once added (the store exposes no
+        mutation API).  Translation makes value-dependent plan choices
+        (e.g. the positional-join detection reads key column contents),
+        so mutating a column's array *in place* after caching a plan is
+        out of contract — it would neither change this fingerprint nor
+        invalidate the plan.
+        """
+        return tuple(
+            (
+                name,
+                len(table),
+                tuple(
+                    (col_name, str(col.data.dtype))
+                    for col_name, col in table.columns.items()
+                ),
+            )
+            for name, table in sorted(self._tables.items())
+        )
+
     def table(self, name: str) -> Table:
         try:
             return self._tables[name]

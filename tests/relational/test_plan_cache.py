@@ -1,0 +1,133 @@
+"""The engine's plan cache: hits on structural equality, invalidation on
+schema/option changes (ISSUE 2 satellite: the cache key must cover the
+ColumnStore schema and the engine's device/workers/fuse knobs)."""
+
+import numpy as np
+
+from repro.compiler import CompilerOptions, ExecutionOptions
+from repro.relational import VoodooEngine
+from repro.relational.algebra import AggSpec, GroupBy, KeySpec, Query, Scan
+from repro.relational.engine import structural_fingerprint
+from repro.relational.expressions import Col, Lit
+from repro.storage import ColumnStore, Table
+
+
+def make_store(n=64, seed=0):
+    rng = np.random.default_rng(seed)
+    store = ColumnStore()
+    store.add(Table.from_arrays(
+        "t",
+        k=rng.integers(0, 4, n).astype(np.int64),
+        v=rng.random(n),
+    ))
+    return store
+
+
+def make_query():
+    plan = Scan("t").filter(Col("v") > Lit(0.25))
+    grouped = GroupBy(
+        plan,
+        keys=[KeySpec("k", Col("k"), card=4)],
+        aggs={"total": AggSpec("sum", Col("v")), "n": AggSpec("count")},
+    )
+    return Query(plan=grouped, select=["k", "total", "n"], order_by=[("k", False)])
+
+
+class TestStructuralFingerprint:
+    def test_equal_for_rebuilt_queries(self):
+        assert structural_fingerprint(make_query()) == structural_fingerprint(make_query())
+
+    def test_differs_on_literal_change(self):
+        other = Query(
+            plan=Scan("t").filter(Col("v") > Lit(0.5)), select=["k"]
+        )
+        assert structural_fingerprint(make_query()) != structural_fingerprint(other)
+
+
+class TestPlanCache:
+    def test_hit_on_repeated_query(self):
+        engine = VoodooEngine(make_store())
+        first = engine.execute(make_query())
+        second = engine.execute(make_query())  # structurally equal, new objects
+        assert engine.cache_info() == {"hits": 1, "misses": 1, "size": 1, "programs": 0}
+        assert second.compiled is first.compiled  # codegen really skipped
+        for column in first.table.columns:
+            assert np.array_equal(first.table.column(column), second.table.column(column))
+
+    def test_distinct_queries_miss(self):
+        engine = VoodooEngine(make_store())
+        engine.execute(make_query())
+        other = Query(plan=Scan("t").filter(Col("v") > Lit(0.9)), select=["v"])
+        engine.execute(other)
+        assert engine.cache_info()["misses"] == 2
+
+    def test_disabled_cache(self):
+        engine = VoodooEngine(make_store(), plan_cache=False)
+        engine.execute(make_query())
+        engine.execute(make_query())
+        assert engine.cache_info() == {"hits": 0, "misses": 0, "size": 0, "programs": 0}
+
+    def test_parallel_path_caches_programs(self):
+        engine = VoodooEngine(make_store(), parallelism=2)
+        first = engine.execute(make_query())
+        second = engine.execute(make_query())
+        info = engine.cache_info()
+        assert info["programs"] == 1 and info["hits"] == 1 and info["size"] == 0
+        for column in first.table.columns:
+            assert np.array_equal(first.table.column(column), second.table.column(column))
+
+    def test_clear(self):
+        engine = VoodooEngine(make_store())
+        engine.execute(make_query())
+        engine.clear_plan_cache()
+        engine.execute(make_query())
+        assert engine.cache_info()["misses"] == 2
+
+
+class TestInvalidation:
+    def test_schema_change_invalidates(self):
+        """Regression: adding a table changes the store fingerprint."""
+        store = make_store()
+        engine = VoodooEngine(store)
+        key_before = engine.cache_key(make_query())
+        engine.execute(make_query())
+        store.add(Table.from_arrays("extra", x=np.arange(3)))
+        assert engine.cache_key(make_query()) != key_before
+        engine.execute(make_query())  # recompiles, still correct
+        assert engine.cache_info()["misses"] == 2
+        assert engine.cache_info()["hits"] == 0
+
+    def test_store_fingerprint_covers_shapes(self):
+        a, b = make_store(n=64), make_store(n=65)
+        assert a.fingerprint() != b.fingerprint()
+        assert make_store(n=64).fingerprint() == a.fingerprint()
+
+    def test_device_and_fuse_in_key(self):
+        store = make_store()
+        keys = {
+            VoodooEngine(store, CompilerOptions()).cache_key(make_query()),
+            VoodooEngine(store, CompilerOptions(device="gpu")).cache_key(make_query()),
+            VoodooEngine(store, CompilerOptions(fuse=False)).cache_key(make_query()),
+            VoodooEngine(store, CompilerOptions(fastpath=False)).cache_key(make_query()),
+            VoodooEngine(store, CompilerOptions(selection="branch-free")).cache_key(make_query()),
+        }
+        assert len(keys) == 5
+
+    def test_workers_and_grain_in_key(self):
+        store = make_store()
+        keys = {
+            VoodooEngine(store).cache_key(make_query()),
+            VoodooEngine(store, execution=ExecutionOptions(workers=4)).cache_key(make_query()),
+            VoodooEngine(store, grain=128).cache_key(make_query()),
+        }
+        assert len(keys) == 3
+
+    def test_aux_vectors_do_not_thrash_the_cache(self):
+        """LIKE membership tables registered during translation must not
+        change the key between the first and second execution."""
+        store = make_store()
+        engine = VoodooEngine(store)
+        key = engine.cache_key(make_query())
+        from repro.core.vector import StructuredVector
+        store.add_aux("aux_like", StructuredVector.from_arrays(m=np.zeros(4, dtype=bool)))
+        assert engine.cache_key(make_query()) == key
