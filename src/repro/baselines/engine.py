@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.compiler.kernels import pack_keys
 from repro.errors import ExecutionError
 from repro.hardware.cost import CostModel, CostReport
 from repro.hardware.device import DeviceProfile, get_device
@@ -157,15 +158,15 @@ class BaselineEngine:
             self.on_aggregate(rows, groups=1, n_aggs=len(plan.aggs))
             return Rows(out_cols, np.ones(1, dtype=bool))
 
-        gid = np.zeros(len(rows), dtype=np.int64)
         domain = 1
         for key in plan.keys:
             domain *= key.card
-        stride = domain
-        for key in plan.keys:
-            stride //= key.card
-            values, _ = self.expr(key.expr, rows)
-            gid += (values - key.offset) * stride
+        key_columns = [self.expr(key.expr, rows)[0] for key in plan.keys]
+        gid = pack_keys(
+            key_columns,
+            [key.card for key in plan.keys],
+            [key.offset for key in plan.keys],
+        )
         gid = np.where(rows.valid, gid, 0)
 
         present = np.zeros(domain, dtype=bool)

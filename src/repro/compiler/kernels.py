@@ -17,13 +17,25 @@ Two kinds of kernel live here:
   (:class:`repro.compiler.rt.Runtime`) and the fused runtime: folding over
   a *virtually* scattered vector (paper Figure 11) in input order into
   partition-aligned output slots.
+
+* **Fused group-by kernels**: multi-column key packing
+  (:func:`pack_keys`) and direct ``bincount``/``reduceat`` aggregation
+  over the *non-uniform* destination runs of a scattered fold
+  (:class:`GroupRuns` / :func:`grouped_fold_aggregate`).  A grouped
+  query folds many aggregates over one scatter; detecting the run
+  structure once (memoized on
+  :class:`repro.compiler.rt.VirtualScatter`) and replacing the generic
+  ``ufunc.at`` machinery with segment reductions is what lifts the
+  Q1/Q19-class aggregation-bound plans off the scattered-fold slow
+  path.  Bit-identity is preserved: float sums keep the exact
+  ``np.bincount`` input-order additions, integer sums and ``max``/``min``
+  are order-independent, and ε fill values match
+  :func:`repro.interpreter.semantics.fold_aggregate` exactly.
 """
 
 from __future__ import annotations
 
 import numpy as np
-
-from repro.interpreter import semantics
 
 # -------------------------------------------------------- uniform-run folds
 
@@ -228,6 +240,162 @@ def gather_compacted(
     return out_cols, out_masks
 
 
+# ------------------------------------------------------- fused group-by
+
+
+def pack_keys(
+    columns: list[np.ndarray],
+    cards: list[int],
+    offsets: list[int] | None = None,
+) -> np.ndarray:
+    """Row-major linearization of composite group keys into one id.
+
+    ``gid = Σ (column_i - offset_i) * stride_i`` with strides derived
+    from the key cardinalities — the same arithmetic the relational
+    translator lowers to a ``Subtract``/``Multiply``/``Add`` chain and
+    the row-engine baselines inline by hand, as a single int64 kernel.
+    """
+    if not columns or len(columns) != len(cards):
+        raise ValueError("pack_keys needs one cardinality per key column")
+    offsets = offsets or [0] * len(columns)
+    stride = 1
+    for card in cards:
+        stride *= card
+    gid = np.zeros(len(columns[0]), dtype=np.int64)
+    for col, card, offset in zip(columns, cards, offsets):
+        stride //= card
+        term = col.astype(np.int64, copy=False)
+        if offset:
+            term = term - offset
+        gid += term * stride if stride != 1 else term
+    return gid
+
+
+class GroupRuns:
+    """Precomputed run structure of one scattered fold's destinations.
+
+    Built once per (scatter, control) pair from the destination-ordered
+    control values: run ids per ordered row, run start offsets, and the
+    output slot of every run.  Every aggregate folded over the same
+    scatter reuses this instead of re-detecting runs — the dominant cost
+    of multi-aggregate group-by plans.
+    """
+
+    __slots__ = ("rids", "starts", "dest_slots", "n_runs")
+
+    def __init__(self, rids: np.ndarray, starts: np.ndarray, dest_slots: np.ndarray):
+        self.rids = rids
+        self.starts = starts
+        self.dest_slots = dest_slots
+        self.n_runs = len(starts)
+
+
+def group_runs(
+    dest_control: np.ndarray | None,
+    dest_positions: np.ndarray,
+) -> GroupRuns:
+    """Non-uniform run detection over destination-ordered control values.
+
+    ``dest_control is None`` means a single run.  ``dest_positions`` are
+    the scatter positions in the same (destination-sorted) order; the
+    first run's result always lands at destination slot 0 — ε padding
+    belongs to the *preceding* run and leading padding to the first run
+    (forward-fill semantics, Figure 7).
+    """
+    n = len(dest_positions)
+    if n == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return GroupRuns(empty, empty, empty)
+    if dest_control is None:
+        rids = np.zeros(n, dtype=np.int64)
+        starts = np.zeros(1, dtype=np.int64)
+    else:
+        is_start = np.empty(n, dtype=bool)
+        is_start[0] = True
+        np.not_equal(dest_control[1:], dest_control[:-1], out=is_start[1:])
+        rids = np.cumsum(is_start).astype(np.int64) - 1
+        starts = np.flatnonzero(is_start).astype(np.int64)
+    dest_slots = dest_positions[starts].astype(np.int64, copy=True)
+    dest_slots[0] = 0
+    return GroupRuns(rids, starts, dest_slots)
+
+
+def grouped_fold_aggregate(
+    fn: str,
+    runs: GroupRuns,
+    values: np.ndarray,
+    mask: np.ndarray | None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-run aggregate over precomputed non-uniform runs.
+
+    Returns ``(per_run, nonempty)`` of length ``runs.n_runs``.
+    Bit-identical to :func:`repro.interpreter.semantics.fold_aggregate`
+    on the same ordered values: float sums use the same sequential
+    input-order ``np.bincount`` additions; integer sums wrap
+    associatively so ``np.add.reduceat`` over ε-zeroed values equals
+    ``np.add.at``; ``max``/``min`` are order-independent and ε slots are
+    substituted with the identical ``finfo``/``iinfo`` fill values.
+    """
+    n_runs = runs.n_runs
+    is_float = values.dtype.kind == "f"
+    acc_dtype = (np.float64 if is_float else np.int64) if fn == "sum" else values.dtype
+    if n_runs == 0:
+        return np.zeros(0, dtype=acc_dtype), np.zeros(0, dtype=bool)
+
+    if fn == "sum":
+        if is_float:
+            weights = values.astype(np.float64, copy=False)
+            if mask is None:
+                per_run = np.bincount(runs.rids, weights=weights, minlength=n_runs)
+                nonempty = np.ones(n_runs, dtype=bool)
+            else:
+                use_idx = np.flatnonzero(mask)
+                use_runs = runs.rids[use_idx]
+                per_run = np.bincount(
+                    use_runs, weights=weights[use_idx], minlength=n_runs
+                )
+                nonempty = np.zeros(n_runs, dtype=bool)
+                nonempty[use_runs] = True
+            return per_run, nonempty
+        vals = values.astype(np.int64, copy=False)
+        if mask is None:
+            return np.add.reduceat(vals, runs.starts), np.ones(n_runs, dtype=bool)
+        per_run = np.add.reduceat(np.where(mask, vals, 0), runs.starts)
+        return per_run, np.logical_or.reduceat(mask, runs.starts)
+
+    ufunc = np.maximum if fn == "max" else np.minimum
+    acc = np.dtype(acc_dtype)
+    info = np.finfo if acc.kind == "f" else np.iinfo
+    fill = info(acc).min if fn == "max" else info(acc).max
+    vals = values.astype(acc, copy=False)
+    if mask is None:
+        return ufunc.reduceat(vals, runs.starts), np.ones(n_runs, dtype=bool)
+    per_run = ufunc.reduceat(np.where(mask, vals, fill), runs.starts)
+    return per_run, np.logical_or.reduceat(mask, runs.starts)
+
+
+def grouped_fold_count(
+    runs: GroupRuns,
+    n: int,
+    mask: np.ndarray | None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-run count over precomputed non-uniform runs.
+
+    A count is the integer sum of ones — with no ε mask the per-run
+    value is simply the run length (``diff`` of the start offsets), no
+    gather or reduction at all.  Bit-identical to summing ones through
+    :func:`grouped_fold_aggregate`.
+    """
+    n_runs = runs.n_runs
+    if n_runs == 0:
+        return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=bool)
+    if mask is None:
+        per_run = np.diff(runs.starts, append=n).astype(np.int64, copy=False)
+        return per_run, np.ones(n_runs, dtype=bool)
+    per_run = np.add.reduceat(mask.astype(np.int64), runs.starts)
+    return per_run, np.logical_or.reduceat(mask, runs.starts)
+
+
 # ---------------------------------------------------------- scattered folds
 
 
@@ -239,6 +407,7 @@ def scattered_fold_aggregate(
     values: np.ndarray,
     mask: np.ndarray | None,
     order: np.ndarray,
+    runs: GroupRuns | None = None,
 ) -> tuple[np.ndarray, np.ndarray, int]:
     """Fold over a virtually scattered vector (paper Figure 11).
 
@@ -248,28 +417,23 @@ def scattered_fold_aggregate(
     runtime's aggregation-table cost accounting.  ``order`` is the
     memoized stable destination order of present rows — the ε-drop and
     ordering rule lives only in
-    :meth:`repro.compiler.rt.VirtualScatter.fold_order`.
+    :meth:`repro.compiler.rt.VirtualScatter.fold_order` — and ``runs``
+    the (optionally memoized, see
+    :meth:`repro.compiler.rt.VirtualScatter.group_runs`) destination-run
+    structure shared by every aggregate folded over the same scatter.
     """
     pos = positions
-    dest_control = None
-    if control is not None:
-        dest_control = control[: len(pos)][order]
+    if runs is None:
+        dest_control = None
+        if control is not None:
+            dest_control = control[: len(pos)][order]
+        runs = group_runs(dest_control, pos[order])
     ordered_values = values[: len(pos)][order]
     ordered_mask = None if mask is None else mask[: len(pos)][order]
-    result_sorted, present_sorted = semantics.fold_aggregate(
-        fn, dest_control, ordered_values, ordered_mask
-    )
+    per_run, nonempty = grouped_fold_aggregate(fn, runs, ordered_values, ordered_mask)
 
-    result = np.zeros(size, dtype=result_sorted.dtype)
+    result = np.zeros(size, dtype=per_run.dtype)
     present = np.zeros(size, dtype=bool)
-    starts = semantics.run_offsets(dest_control, len(ordered_values))
-    dest_slots = pos[order][starts] if len(starts) else np.zeros(0, dtype=np.int64)
-    if len(dest_slots):
-        # ε padding belongs to the *preceding* run and leading padding
-        # to the first run (forward-fill semantics, Figure 7): the
-        # first run's result always lands at destination slot 0.
-        dest_slots = dest_slots.copy()
-        dest_slots[0] = 0
-    result[dest_slots] = result_sorted[starts]
-    present[dest_slots] = present_sorted[starts]
-    return result, present, len(starts)
+    result[runs.dest_slots] = per_run
+    present[runs.dest_slots] = nonempty
+    return result, present, runs.n_runs

@@ -77,10 +77,20 @@ class ExecutionOptions:
     for the interpreting path it is the
     :class:`~repro.parallel.ParallelInterpreter` pool width, delivering
     real wall-clock parallelism.  ``pool`` picks the worker pool kind.
+
+    ``fastpath`` composes the two headline optimizations: when True (the
+    default) the partition-parallel backend executes each chunk — and the
+    global/sequential zones — through the fused wall-clock runtime
+    (:mod:`repro.compiler.rt_fast`) instead of the materializing
+    interpreter, so fusion × multicore multiply instead of excluding
+    each other.  It only takes effect when the compiler-side
+    ``CompilerOptions.fastpath``/``fuse`` flags are on too; results stay
+    bit-identical either way.
     """
 
     workers: int = 1
     pool: str = "thread"
+    fastpath: bool = True
 
     def __post_init__(self) -> None:
         if self.workers < 1:

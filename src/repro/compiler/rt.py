@@ -49,18 +49,51 @@ class VirtualScatter:
     #: memoized stable destination order (all folds over one scatter share
     #: the same sort; computing it per fold dominated grouped queries)
     _order: np.ndarray | None = field(default=None, repr=False, compare=False)
+    #: memoized (control array, GroupRuns) destination-run structure; a
+    #: grouped query folds every aggregate over the same control, so run
+    #: detection happens once per scatter, not once per aggregate
+    _runs: tuple | None = field(default=None, repr=False, compare=False)
+    #: all-rows stable destination order handed down by the positions
+    #: producer (Partition already sorts rows by destination; re-sorting
+    #: in fold_order would be a redundant argsort)
+    order_hint: np.ndarray | None = field(default=None, repr=False, compare=False)
 
     def fold_order(self) -> np.ndarray:
         """Row order sorting present rows by destination position."""
         if self._order is None:
-            keep = np.arange(len(self.positions))
-            if self.pos_present is not None:
-                # ε positions never land anywhere: drop them before
-                # ordering so their stale control values cannot split
-                # destination runs.
-                keep = keep[self.pos_present]
-            self._order = keep[np.argsort(self.positions[keep], kind="stable")]
+            if self.order_hint is not None:
+                hint = self.order_hint
+                self._order = (
+                    hint if self.pos_present is None
+                    else hint[self.pos_present[hint]]
+                )
+            else:
+                keep = np.arange(len(self.positions))
+                if self.pos_present is not None:
+                    # ε positions never land anywhere: drop them before
+                    # ordering so their stale control values cannot split
+                    # destination runs.
+                    keep = keep[self.pos_present]
+                self._order = keep[np.argsort(self.positions[keep], kind="stable")]
         return self._order
+
+    def group_runs(self, control: np.ndarray | None) -> "kernels.GroupRuns":
+        """Destination-run structure for folds controlled by *control*.
+
+        Memoized on array identity (a strong reference is kept, so ids
+        cannot be recycled); a fold over a different control array
+        recomputes.
+        """
+        memo = self._runs  # local read: concurrent folds may swap the memo
+        if memo is not None and memo[0] is control:
+            return memo[1]
+        order = self.fold_order()
+        dest_control = None
+        if control is not None:
+            dest_control = control[: len(self.positions)][order]
+        runs = kernels.group_runs(dest_control, self.positions[order])
+        self._runs = (control, runs)
+        return runs
 
 
 @dataclass
@@ -754,6 +787,7 @@ class Runtime:
         result, present, groups = kernels.scattered_fold_aggregate(
             fn, scat.positions, scat.size,
             control, values, base.present(agg_kp), order=scat.fold_order(),
+            runs=scat.group_runs(control),
         )
 
         is_float = values.dtype.kind == "f"

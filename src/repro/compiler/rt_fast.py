@@ -43,17 +43,21 @@ class FusedVal:
     presence mask per keypath (``None`` = dense); ``virtual`` holds
     attributes that exist only as :class:`RunInfo` metadata and are
     materialized on demand.  Masks are *shared, never mutated*: every
-    consumer that combines masks allocates a fresh array.
+    consumer that combines masks allocates a fresh array.  ``hints``
+    carries optional producer metadata (currently the stable
+    destination order a ``Partition`` computed, keyed by attribute) that
+    downstream operators may exploit but never require.
     """
 
-    __slots__ = ("length", "cols", "masks", "virtual", "scatter")
+    __slots__ = ("length", "cols", "masks", "virtual", "scatter", "hints")
 
-    def __init__(self, length, cols, masks, virtual=None, scatter=None):
+    def __init__(self, length, cols, masks, virtual=None, scatter=None, hints=None):
         self.length = length
         self.cols = cols
         self.masks = masks
         self.virtual = virtual if virtual is not None else {}
         self.scatter = scatter
+        self.hints = hints
 
     def paths(self):
         return tuple(self.cols) + tuple(self.virtual)
@@ -307,7 +311,10 @@ class FusedRuntime:
             source = self._apply_scatter(source)
         pos, pos_mask = extract(positions, pos_kp)
         cols, masks = self._dense_parts(source)
-        if pos_mask is not None:
+        # compaction pays when positions are mostly ε (its premise); at
+        # high hit density the direct gather's streaming access wins —
+        # both kernels are bit-identical, this is purely a cost choice
+        if pos_mask is not None and np.count_nonzero(pos_mask) * 2 < len(pos):
             out_cols, out_masks = kernels.gather_compacted(
                 pos, pos_mask, source.length, cols, masks
             )
@@ -321,10 +328,14 @@ class FusedRuntime:
                 size: int, keep_virtual: bool) -> FusedVal:
         pos, pos_mask = extract(positions, pos_kp)
         n = min(data.length, len(pos))
+        order_hint = None
+        if positions.hints is not None and n == len(pos):
+            order_hint = positions.hints.get(("fold_order", pos_kp))
         scat = VirtualScatter(
             positions=pos[:n],
             pos_present=None if pos_mask is None else pos_mask[:n],
             size=size,
+            order_hint=order_hint,
         )
         val = FusedVal(data.length, data.cols, data.masks, dict(data.virtual), scat)
         if keep_virtual and self.virtual_scatter_enabled:
@@ -355,9 +366,16 @@ class FusedRuntime:
                   pivots: FusedVal, pivot_kp: Keypath) -> FusedVal:
         values, mask = extract(source, kp)
         piv, _ = extract(pivots, pivot_kp)
-        positions, out_present = semantics.partition_positions(values, mask, piv)
+        positions, out_present, order = semantics.partition_positions(
+            values, mask, piv, with_order=True
+        )
         present = None if out_present.all() else out_present
-        return FusedVal(len(values), {out: positions}, {out: present})
+        # hand the already-computed stable destination order to a
+        # downstream Scatter so its fold_order skips the argsort
+        return FusedVal(
+            len(values), {out: positions}, {out: present},
+            hints={("fold_order", out): order},
+        )
 
     # -- folds --------------------------------------------------------------
 
@@ -406,21 +424,35 @@ class FusedRuntime:
             result, present = semantics.fold_aggregate(fn, control, values, mask, cmask)
         return FusedVal(n, {out: result}, {out: present})
 
+    def _scattered_control(self, val: FusedVal, fold_kp: Keypath | None):
+        """The fold-control array of a scattered value.
+
+        A virtual (RunInfo) control materializes once per value, cached
+        in ``hints`` — every aggregate over the same scatter must hand
+        the *same* array to :meth:`VirtualScatter.group_runs`, or the
+        identity-keyed run-structure memo never engages.
+        """
+        if fold_kp is None:
+            return None
+        info = val.runinfo(fold_kp)
+        if info is None:
+            return val.attr(fold_kp)
+        if val.hints is None:
+            val.hints = {}
+        control = val.hints.get(("control", fold_kp))
+        if control is None:
+            control = info.materialize(val.length)
+            val.hints[("control", fold_kp)] = control
+        return control
+
     def _fold_scattered(self, fn: str, out: Keypath, val: FusedVal,
-                        agg_kp: Keypath, fold_kp: Keypath | None,
-                        values: np.ndarray | None = None,
-                        mask: np.ndarray | None = None) -> FusedVal:
+                        agg_kp: Keypath, fold_kp: Keypath | None) -> FusedVal:
         scat = val.scatter
-        n = val.length
-        control = None
-        if fold_kp is not None:
-            info = val.runinfo(fold_kp)
-            control = info.materialize(n) if info is not None else val.attr(fold_kp)
-        if values is None:
-            values, mask = extract(val, agg_kp)
+        control = self._scattered_control(val, fold_kp)
+        values, mask = extract(val, agg_kp)
         result, present, _ = kernels.scattered_fold_aggregate(
             fn, scat.positions, scat.size, control, values, mask,
-            order=scat.fold_order(),
+            order=scat.fold_order(), runs=scat.group_runs(control),
         )
         return FusedVal(scat.size, {out: result}, {out: present})
 
@@ -443,12 +475,24 @@ class FusedRuntime:
                    fold_kp: Keypath | None) -> FusedVal:
         kp = counted_kp or _single_path(val)
         if val.scatter is not None:
-            # count == sum of ones; reuse the scattered sum kernel
+            # count == sum of ones over the destination runs: with a dense
+            # counted attribute the per-run value is just the run length —
+            # no ones vector, no gather, no reduction
+            scat = val.scatter
+            control = self._scattered_control(val, fold_kp)
             counted_mask = None if kp is None else val.mask(kp)
-            ones = np.ones(val.length, dtype=np.int64)
-            return self._fold_scattered(
-                "sum", out, val, kp, fold_kp, values=ones, mask=counted_mask
+            order = scat.fold_order()
+            runs = scat.group_runs(control)
+            ordered_mask = (
+                None if counted_mask is None
+                else counted_mask[: len(scat.positions)][order]
             )
+            per_run, nonempty = kernels.grouped_fold_count(runs, len(order), ordered_mask)
+            result = np.zeros(scat.size, dtype=np.int64)
+            present = np.zeros(scat.size, dtype=bool)
+            result[runs.dest_slots] = per_run
+            present[runs.dest_slots] = nonempty
+            return FusedVal(scat.size, {out: result}, {out: present})
         n = val.length
         control, cmask, static_rl = self._control_arrays(val, fold_kp, n)
         counted_mask = None if kp is None else val.mask(kp)

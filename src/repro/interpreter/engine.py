@@ -331,12 +331,15 @@ def apply_binary(fn: str, a: np.ndarray, b: np.ndarray) -> np.ndarray:
     if fn == "Multiply":
         return a * b
     if fn == "Divide":
+        zero = b == 0
+        has_zero = bool(zero.any())
         if a.dtype.kind in "iub" and b.dtype.kind in "iub":
             with np.errstate(divide="ignore"):
-                safe = np.where(b == 0, 1, b)
-                return a // safe
+                return a // np.where(zero, 1, b) if has_zero else a // b
         with np.errstate(divide="ignore", invalid="ignore"):
-            return np.where(b == 0, 0.0, a / np.where(b == 0, 1, b))
+            if not has_zero:
+                return a / b
+            return np.where(zero, 0.0, a / np.where(zero, 1, b))
     if fn == "Modulo":
         safe = np.where(b == 0, 1, b)
         return a % safe

@@ -255,12 +255,18 @@ def partition_positions(
     values: np.ndarray,
     present: np.ndarray | None,
     pivots: np.ndarray,
-) -> tuple[np.ndarray, np.ndarray]:
+    with_order: bool = False,
+) -> tuple:
     """Stable scatter positions grouping *values* by pivot intervals.
 
     Partition of v = index of the greatest pivot <= v (clipped to 0), i.e.
     with pivots ``0..k-1`` and integral group ids, the id itself.  Output
     positions lay partitions out contiguously, stable within a partition.
+
+    With ``with_order=True`` the stable row order by output position is
+    returned as a third element.  Positions are distinct per row, so this
+    equals ``np.argsort(positions, kind="stable")`` — computed here as a
+    by-product, it lets a downstream scattered fold skip that sort.
     """
     n = len(values)
     pivot_order = np.argsort(pivots, kind="stable")
@@ -289,6 +295,8 @@ def partition_positions(
     positions = np.empty(n, dtype=np.int64)
     positions[order] = offsets[part[order]] + rank_sorted
     out_present = np.ones(n, dtype=bool) if present is None else present.copy()
+    if with_order:
+        return positions, out_present, order
     return positions, out_present
 
 

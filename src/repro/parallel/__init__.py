@@ -10,7 +10,20 @@ interpreter.
 """
 
 from repro.parallel.executor import ChunkCrossing, ParallelInterpreter
-from repro.parallel.merge import concat_chunks, merge_fold, merge_select
+from repro.parallel.fused import (
+    FusedChunkRunner,
+    FusedProgramRunner,
+    FusedUnsupported,
+    to_fused,
+)
+from repro.parallel.merge import (
+    concat_chunks,
+    concat_fused,
+    merge_fold,
+    merge_fold_fused,
+    merge_select,
+    merge_select_fused,
+)
 from repro.parallel.planner import (
     GFOLD,
     GLOBAL,
@@ -24,10 +37,17 @@ from repro.parallel.planner import (
 
 __all__ = [
     "ChunkCrossing",
+    "FusedChunkRunner",
+    "FusedProgramRunner",
+    "FusedUnsupported",
     "ParallelInterpreter",
     "concat_chunks",
+    "concat_fused",
     "merge_fold",
+    "merge_fold_fused",
     "merge_select",
+    "merge_select_fused",
+    "to_fused",
     "GFOLD",
     "GLOBAL",
     "GSELECT",

@@ -5,23 +5,36 @@
 same ``run()`` contract, bit-identical outputs.  Internally it asks the
 :class:`~repro.parallel.planner.PartitionPlanner` how to split the
 program, evaluates the GLOBAL zone once, fans the PARTITIONED zone out
-over a ``concurrent.futures`` pool (threads by default — NumPy releases
-the GIL on the hot kernels; processes optionally), merges the chunk
-results, and finishes the SEQ zone sequentially.
+over a persistent ``concurrent.futures`` pool (threads by default —
+NumPy releases the GIL on the hot kernels; processes optionally),
+merges the chunk results, and finishes the SEQ zone sequentially.
+
+With ``fastpath=True`` (the default) every zone executes on the fused
+wall-clock runtime (:mod:`repro.parallel.fused` driving
+:mod:`repro.compiler.rt_fast`): chunks are seeded with column/mask
+*views*, evaluated through raw-array kernels with symbolic chunk-offset
+control vectors, and merged as raw arrays — fusion × multicore compose
+on the same program.  ``fastpath=False`` keeps the PR 1 behavior of
+evaluating chunks on the materializing reference interpreter.
+
+The worker pool is created lazily on first parallel run and **reused
+across runs** (constructing a pool — especially a process pool — per
+query dominated short queries).  Call :meth:`ParallelInterpreter.close`
+(or use the instance as a context manager) for deterministic shutdown.
 
 Correctness is structural, not statistical: every partitioned slot is the
-very slot sequential execution would produce (chunk interpreters offset
+very slot sequential execution would produce (chunk workers offset
 ``Range`` starts and ``FoldSelect`` positions by the chunk origin, and
 chunk boundaries never split a control run), so merging is exact.  When a
 program cannot be proven partitionable — or a ``Gather`` turns out to
 chase positions across chunk boundaries at runtime — execution falls back
-to the sequential reference interpreter, trading speed for certainty.
+to sequential evaluation, trading speed for certainty.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from fractions import Fraction
 from typing import Mapping
 
@@ -36,6 +49,15 @@ from repro.errors import ExecutionError
 from repro.interpreter import semantics
 from repro.interpreter.engine import Interpreter
 from repro.parallel import merge
+from repro.parallel.fused import (
+    ChunkCrossing,
+    FusedProgramRunner,
+    FusedUnsupported,
+    FusedVal,
+    fused_slice,
+    run_fused_chunk,
+    to_fused,
+)
 from repro.parallel.planner import (
     GFOLD,
     GLOBAL,
@@ -45,13 +67,6 @@ from repro.parallel.planner import (
     PartitionPlan,
     PartitionPlanner,
 )
-
-class ChunkCrossing(Exception):
-    """A Gather into partitioned data chased positions outside the chunk.
-
-    Raised by chunk workers; the executor responds by re-running the whole
-    program sequentially, which is always correct.
-    """
 
 
 class _ChunkInterpreter(Interpreter):
@@ -178,6 +193,16 @@ class ParallelInterpreter:
     pool:
         ``"thread"`` (default; NumPy kernels release the GIL) or
         ``"process"`` (full isolation, pays pickling per chunk).
+    fastpath:
+        Execute every zone — per-chunk and sequential — on the fused
+        wall-clock runtime (default).  ``False`` evaluates chunks on the
+        materializing reference interpreter instead.  Outputs are
+        bit-identical either way.
+
+    The underlying worker pool is persistent: created on first parallel
+    ``run()``, reused by every later one.  ``close()`` (or ``with``)
+    shuts it down deterministically; a closed instance transparently
+    re-opens a pool if run again.
     """
 
     def __init__(
@@ -185,6 +210,7 @@ class ParallelInterpreter:
         storage: Mapping[str, StructuredVector] | None = None,
         workers: int | None = None,
         pool: str = "thread",
+        fastpath: bool = True,
     ):
         if pool not in POOL_KINDS:
             raise ExecutionError(f"pool must be one of {POOL_KINDS}, got {pool!r}")
@@ -193,11 +219,66 @@ class ParallelInterpreter:
         if self.workers < 1:
             raise ExecutionError(f"workers must be >= 1, got {self.workers}")
         self.pool = pool
+        self.fastpath = fastpath
+        #: hardware threads actually available; with one core the chunked
+        #: zones still execute chunk-by-chunk (same plans, same offsets,
+        #: same merges — the correctness path stays exercised) but inline,
+        #: skipping pointless pool handoffs
+        self._effective = min(self.workers, os.cpu_count() or 1)
+        self._executor: Executor | None = None
+        #: memoized plans keyed on program identity + storage shape
+        #: (vectors are immutable per the ColumnStore contract, so shape
+        #: captures everything the planner reads that can change between
+        #: runs — e.g. a late-registered auxiliary vector)
+        self._plan_cache: dict[int, tuple[Program, tuple, PartitionPlan]] = {}
         #: plan of the most recent run (observability/testing hook)
         self.last_plan: PartitionPlan | None = None
 
     def store(self, name: str, vector: StructuredVector) -> None:
         self._storage[name] = vector
+
+    def reset_storage(self, storage: Mapping[str, StructuredVector]) -> None:
+        """Swap the Load context (the engine refreshes it per query so
+        late-registered auxiliary vectors are visible)."""
+        self._storage = dict(storage)
+
+    # -- pool lifecycle ------------------------------------------------------
+
+    def _pool(self) -> Executor:
+        """The persistent worker pool, created lazily on first use."""
+        if self._executor is None:
+            executor_cls = (
+                ThreadPoolExecutor if self.pool == "thread" else ProcessPoolExecutor
+            )
+            self._executor = executor_cls(max_workers=self.workers)
+        return self._executor
+
+    @staticmethod
+    def _collect(futures: list) -> list:
+        """Results of all chunk futures; on failure, cancel what is still
+        pending and drain the rest so the sequential fallback does not
+        compete with doomed tasks on the shared persistent pool."""
+        try:
+            return [f.result() for f in futures]
+        except BaseException:
+            for f in futures:
+                f.cancel()
+            for f in futures:
+                if not f.cancelled():
+                    f.exception()  # wait + swallow secondary failures
+            raise
+
+    def close(self) -> None:
+        """Shut the worker pool down deterministically (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "ParallelInterpreter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- execution ------------------------------------------------------------
 
@@ -205,15 +286,58 @@ class ParallelInterpreter:
         """Execute and return named outputs, bit-identical to sequential."""
         if self.workers <= 1:
             self.last_plan = None
+            if self.fastpath:
+                try:
+                    return self._run_sequential_fused(program)
+                except FusedUnsupported:
+                    pass
             return self._run_sequential(program)
-        plan = PartitionPlanner(program, self._storage, self.workers).plan()
+        plan = self._plan(program)
         self.last_plan = plan
+        if self.fastpath:
+            try:
+                try:
+                    if not plan.parallel:
+                        return self._run_sequential_fused(program)
+                    return self._run_parallel_fused(program, plan)
+                except ChunkCrossing:
+                    return self._run_sequential_fused(program)
+            except FusedUnsupported:
+                pass  # fall through to the interpreter backend
         if not plan.parallel:
             return self._run_sequential(program)
         try:
             return self._run_parallel(program, plan)
         except ChunkCrossing:
             return self._run_sequential(program)
+
+    def _plan(self, program: Program) -> PartitionPlan:
+        """Plan (or reuse the memoized plan for) *program*.
+
+        Repeated engine queries hand the very same translated program
+        object back; re-planning (zone classification + schema
+        inference) per run was measurable on short queries.  The key
+        covers everything the planner reads from storage: names,
+        lengths, *and* per-attribute dtypes — a float sum is only exact
+        sequentially, so swapping an int column for a float one of the
+        same shape must invalidate the cached zone classification.
+        """
+        shape = tuple(sorted(
+            (
+                name,
+                len(vec),
+                tuple((str(p), vec.attr(p).dtype.str) for p in vec.paths),
+            )
+            for name, vec in self._storage.items()
+        ))
+        cached = self._plan_cache.get(id(program))
+        if cached is not None and cached[0] is program and cached[1] == shape:
+            return cached[2]
+        plan = PartitionPlanner(program, self._storage, self.workers).plan()
+        if len(self._plan_cache) >= 64:
+            self._plan_cache.pop(next(iter(self._plan_cache)))
+        self._plan_cache[id(program)] = (program, shape, plan)
+        return plan
 
     def _run_sequential(self, program: Program) -> dict[str, StructuredVector]:
         """Reference-interpreter fallback, with Persist results synced back
@@ -223,6 +347,34 @@ class ParallelInterpreter:
         for node in program.order:
             if isinstance(node, ops.Persist):
                 self._storage[node.name] = outputs[node.name]
+        return outputs
+
+    def _run_sequential_fused(self, program: Program) -> dict[str, StructuredVector]:
+        """Whole-program fused evaluation (the single-core fast path)."""
+        runner = FusedProgramRunner(program, self._storage)
+        values: dict[int, FusedVal] = {}
+        for node in program.order:
+            values[id(node)] = runner.eval(node, values)
+        return self._capture_outputs(program, values, runner)
+
+    def _capture_outputs(
+        self,
+        program: Program,
+        values: dict[int, FusedVal],
+        runner: FusedProgramRunner,
+    ) -> dict[str, StructuredVector]:
+        """Force outputs and Persist captures, exactly as sequential run()."""
+        persisted: dict[str, StructuredVector] = {}
+        for node in program.order:
+            if isinstance(node, ops.Persist) and id(node) in values:
+                vector = runner.force(values[id(node)])
+                persisted[node.name] = vector
+                self._storage[node.name] = vector
+        outputs = {
+            name: runner.force(values[id(node)])
+            for name, node in program.outputs.items()
+        }
+        outputs.update(persisted)
         return outputs
 
     def _run_parallel(self, program: Program, plan: PartitionPlan) -> dict[str, StructuredVector]:
@@ -264,6 +416,102 @@ class ParallelInterpreter:
         outputs.update(persisted)
         return outputs
 
+    def _run_parallel_fused(
+        self, program: Program, plan: PartitionPlan
+    ) -> dict[str, StructuredVector]:
+        """The composed fast path: fused kernels inside every zone."""
+        order = program.order
+        runner = FusedProgramRunner(program, self._storage)
+        values: dict[int, FusedVal] = {}
+
+        # 1. GLOBAL zone, fused, computed once.
+        for i, node in enumerate(order):
+            if plan.zones[i] == GLOBAL:
+                values[id(node)] = runner.eval(node, values)
+
+        # 2. Fan the chunked zones out over the worker pool.
+        chunk_results = self._map_chunks_fused(program, plan, values, runner)
+
+        # 3. Merge chunk results as raw arrays (no per-chunk wrapping).
+        for i in plan.frontier:
+            node = order[i]
+            if i == plan.driving:
+                values[id(node)] = to_fused(self._storage[node.name])
+                continue
+            chunks = [result[i] for result in chunk_results]
+            values[id(node)] = self._merge_fused(plan.zones[i], node, chunks)
+
+        # 4. SEQ zone, fused, over the merged full-length values.  A
+        #    grouped query's aggregates are independent folds over one
+        #    shared scatter — fan ready folds out over the worker pool.
+        self._run_seq_fused(
+            [i for i, zone in enumerate(plan.zones) if zone == SEQ],
+            order, values, runner,
+        )
+
+        # 5. Outputs and Persist capture.
+        return self._capture_outputs(program, values, runner)
+
+    def _run_seq_fused(
+        self,
+        seq_indices: list[int],
+        order,
+        values: dict[int, FusedVal],
+        runner: FusedProgramRunner,
+    ) -> None:
+        """Evaluate the SEQ zone, fanning independent kernels onto the pool.
+
+        A grouped query's aggregates are independent folds over one
+        shared scatter (and its post-aggregation arithmetic is
+        independent per output column), but topological order interleaves
+        them with cheap structural ops.  This scheduler repeatedly
+        collects every *ready* fold / element-wise node — all inputs
+        evaluated — and runs the batch concurrently (the NumPy kernels
+        release the GIL); everything else evaluates inline in topological
+        order.  The first fold of each distinct source evaluates inline
+        to warm the scatter's memoized ``fold_order``/``group_runs``
+        before threads share them read-only.
+        """
+        nodes = [order[i] for i in seq_indices]
+        pending: set[int] = {id(node) for node in nodes}
+
+        def ready(node: ops.Op) -> bool:
+            return all(id(inp) in values for inp in node.inputs())
+
+        # fan-out only makes sense for threads: workers share the values
+        # dict (keyed by parent-process node ids) and the arrays in place;
+        # a process worker would see re-pickled nodes with different ids
+        fan_out = self._effective > 1 and self.pool == "thread"
+        while pending:
+            batch = [
+                node for node in nodes
+                if id(node) in pending
+                and isinstance(node, (ops.FoldOp, ops.Binary, ops.Unary))
+                and ready(node)
+            ] if fan_out else []
+            if len(batch) > 1:
+                deferred: list[ops.Op] = []
+                warmed: set[int] = set()
+                for node in batch:
+                    if isinstance(node, ops.FoldOp) and id(node.source) not in warmed:
+                        warmed.add(id(node.source))
+                        values[id(node)] = runner.eval(node, values)
+                    else:
+                        deferred.append(node)
+                futures = [
+                    self._pool().submit(runner.eval, node, values)
+                    for node in deferred
+                ]
+                for node, result in zip(deferred, self._collect(futures)):
+                    values[id(node)] = result
+                pending.difference_update(id(node) for node in batch)
+                continue
+            # no concurrency to exploit: evaluate the earliest pending
+            # node (its inputs all precede it and are already evaluated)
+            node = next(node for node in nodes if id(node) in pending)
+            values[id(node)] = runner.eval(node, values)
+            pending.discard(id(node))
+
     def _map_chunks(
         self,
         program: Program,
@@ -280,23 +528,69 @@ class ParallelInterpreter:
                 vec = values[id(order[j])]
                 seeded[j] = vec.slice(lo, hi) if mode == "sliced" else vec
             tasks.append((lo, hi, seeded))
-        executor_cls = ThreadPoolExecutor if self.pool == "thread" else ProcessPoolExecutor
-        with executor_cls(max_workers=min(self.workers, len(tasks))) as pool:
-            futures = [
-                pool.submit(
-                    _run_chunk,
-                    program,
-                    chunk_indices,
-                    plan.frontier,
-                    seeded,
-                    plan.driving,
-                    lo,
-                    hi,
-                    plan.extent,
+        pool = self._pool()
+        futures = [
+            pool.submit(
+                _run_chunk,
+                program,
+                chunk_indices,
+                plan.frontier,
+                seeded,
+                plan.driving,
+                lo,
+                hi,
+                plan.extent,
+            )
+            for lo, hi, seeded in tasks
+        ]
+        return self._collect(futures)
+
+    def _map_chunks_fused(
+        self,
+        program: Program,
+        plan: PartitionPlan,
+        values: dict[int, FusedVal],
+        runner: FusedProgramRunner,
+    ) -> list[dict[int, FusedVal]]:
+        order = program.order
+        chunk_indices = plan.chunk_nodes()
+        driving_vec = self._storage[order[plan.driving].name]
+        # global feeds are readied once: pending scatters land here, and
+        # sliced feeds materialize their virtuals so chunk cuts are views
+        feeds = {
+            j: (mode, runner.prepare_feed(values[id(order[j])], mode))
+            for j, mode in plan.global_feeds.items()
+        }
+        tasks = []
+        for lo, hi in plan.chunks:
+            seeded: dict[int, FusedVal] = {plan.driving: to_fused(driving_vec, lo, hi)}
+            for j, (mode, val) in feeds.items():
+                seeded[j] = fused_slice(val, lo, hi) if mode == "sliced" else val
+            tasks.append((lo, hi, seeded))
+        if self._effective <= 1:
+            return [
+                run_fused_chunk(
+                    program, chunk_indices, plan.frontier, seeded,
+                    plan.driving, lo, hi, plan.extent,
                 )
                 for lo, hi, seeded in tasks
             ]
-            return [f.result() for f in futures]
+        pool = self._pool()
+        futures = [
+            pool.submit(
+                run_fused_chunk,
+                program,
+                chunk_indices,
+                plan.frontier,
+                seeded,
+                plan.driving,
+                lo,
+                hi,
+                plan.extent,
+            )
+            for lo, hi, seeded in tasks
+        ]
+        return self._collect(futures)
 
     @staticmethod
     def _merge(zone: str, node: ops.Op, chunks: list[StructuredVector]) -> StructuredVector:
@@ -307,4 +601,15 @@ class ParallelInterpreter:
         if zone == GFOLD:
             fn = "sum" if isinstance(node, ops.FoldCount) else node.fn
             return merge.merge_fold(fn, chunks, node.out)
+        raise ExecutionError(f"cannot merge zone {zone!r}")  # pragma: no cover
+
+    @staticmethod
+    def _merge_fused(zone: str, node: ops.Op, chunks: list[FusedVal]) -> FusedVal:
+        if zone == PARTITIONED:
+            return merge.concat_fused(chunks)
+        if zone == GSELECT:
+            return merge.merge_select_fused(chunks, node.out)
+        if zone == GFOLD:
+            fn = "sum" if isinstance(node, ops.FoldCount) else node.fn
+            return merge.merge_fold_fused(fn, chunks, node.out)
         raise ExecutionError(f"cannot merge zone {zone!r}")  # pragma: no cover

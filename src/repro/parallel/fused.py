@@ -1,0 +1,402 @@
+"""Fused execution for the partition-parallel backend.
+
+PR 1 made the multicore backend real and PR 2 made the compiled backend
+fast — but a ``workers > 1`` engine still executed every chunk on the
+materializing reference :class:`~repro.interpreter.engine.Interpreter`,
+so the two headline optimizations excluded each other.  This module
+composes them: it drives the fused wall-clock runtime
+(:class:`~repro.compiler.rt_fast.FusedRuntime`) per *zone* of a
+:class:`~repro.parallel.planner.PartitionPlan` —
+
+* :class:`FusedProgramRunner` evaluates the GLOBAL and SEQ zones over
+  full vectors (raw arrays, shared masks, symbolic control vectors,
+  direct fold kernels — exactly what the generated fused kernels do);
+* :class:`FusedChunkRunner` evaluates the PARTITIONED/GFOLD/GSELECT
+  zones over one chunk ``[lo, hi)``, overriding exactly the operators
+  whose chunk-local evaluation would diverge from the slots sequential
+  execution produces: ``Range`` starts are offset symbolically by the
+  chunk origin (the :class:`~repro.core.controlvector.RunInfo` stays
+  virtual, so uniform-run fold kernels still engage inside a chunk),
+  ``FoldSelect`` hit positions are rebased to global row numbers, and a
+  ``Gather`` into partitioned data verifies at runtime that positions
+  stay inside the chunk (raising :class:`ChunkCrossing` otherwise).
+
+Chunk inputs are *views*: the driving vector's columns and presence
+masks are sliced, never copied, before crossing the chunk boundary —
+masks are shared into the workers under the FusedVal contract that no
+consumer mutates them.  Everything here is bit-identity-preserving: the
+fused-parallel backend produces exactly the vectors the sequential
+interpreter produces, enforced on every TPC-H query and property-tested
+across chunk boundaries that cut group-by runs.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.compiler import kernels
+from repro.compiler.rt_fast import FusedRuntime, FusedVal, _normalized, extract
+from repro.core import ops
+from repro.core.program import Program
+from repro.core.vector import StructuredVector
+from repro.errors import ExecutionError
+from repro.interpreter import semantics
+from repro.interpreter.engine import _walk_op_classes
+
+
+class ChunkCrossing(Exception):
+    """A Gather into partitioned data chased positions outside the chunk.
+
+    Raised by chunk workers; the executor responds by re-running the
+    whole program sequentially (on the fused runtime), which is always
+    correct.
+    """
+
+
+class FusedUnsupported(Exception):
+    """The fused dispatch cannot evaluate this program; callers fall back
+    to the interpreter backend."""
+
+
+def to_fused(vector: StructuredVector, lo: int = 0, hi: int | None = None) -> FusedVal:
+    """A FusedVal over (a row range of) a Structured Vector.
+
+    Columns and presence masks are NumPy views — nothing is copied at
+    the chunk boundary; masks are shared under the never-mutate
+    contract.
+    """
+    hi = len(vector) if hi is None else hi
+    cols = {}
+    masks = {}
+    for path in vector.paths:
+        cols[path] = vector.attr(path)[lo:hi]
+        masks[path] = None if vector.is_dense(path) else vector.present(path)[lo:hi]
+    return FusedVal(hi - lo, cols, masks)
+
+
+def fused_slice(val: FusedVal, lo: int, hi: int) -> FusedVal:
+    """Row range ``[lo, hi)`` of a fused value (views, not copies)."""
+    if val.scatter is not None or val.virtual:
+        raise ExecutionError("fused_slice needs a landed, concrete value")
+    cols = {p: a[lo:hi] for p, a in val.cols.items()}
+    masks = {p: (None if m is None else m[lo:hi]) for p, m in val.masks.items()}
+    return FusedVal(hi - lo, cols, masks)
+
+
+class FusedProgramRunner:
+    """Per-node dispatch into the fused runtime (the GLOBAL/SEQ zones).
+
+    Emits the same runtime call shapes the code generator emits for the
+    compiled fused path, so outputs are bit-identical to both the
+    generated fused kernels and the interpreter.  Scatters stay virtual
+    under the same rule the fragment planner applies (every consumer is
+    a fold and the scatter is not a program output).
+    """
+
+    _dispatch: dict[type, object] | None = None
+
+    def __init__(self, program: Program, storage: Mapping[str, StructuredVector]
+                 | None = None, virtual_scatter: bool = True,
+                 keep_virtual: frozenset | None = None):
+        self.program = program
+        self.rt = FusedRuntime(dict(storage or {}), virtual_scatter=virtual_scatter)
+        if keep_virtual is not None:
+            self._keep_virtual = keep_virtual
+        else:
+            self._keep_virtual = (
+                self._virtual_scatters(program) if virtual_scatter else frozenset()
+            )
+        self._forced: dict[int, StructuredVector] = {}
+
+    @staticmethod
+    def _virtual_scatters(program: Program) -> set[int]:
+        consumers: dict[int, list[ops.Op]] = {}
+        for node in program.order:
+            for child in node.inputs():
+                consumers.setdefault(id(child), []).append(node)
+        out_ids = {id(out) for out in program.outputs.values()}
+        keep: set[int] = set()
+        for node in program.order:
+            if not isinstance(node, ops.Scatter):
+                continue
+            cons = consumers.get(id(node), [])
+            if cons and id(node) not in out_ids and all(
+                isinstance(c, ops.FoldOp) for c in cons
+            ):
+                keep.add(id(node))
+        return keep
+
+    @classmethod
+    def _dispatch_table(cls) -> dict[type, object]:
+        if cls.__dict__.get("_dispatch") is None:
+            table = {}
+            for op_class in _walk_op_classes(ops.Op):
+                method = getattr(cls, f"_eval_{op_class.__name__.lower()}", None)
+                if method is not None:
+                    table[op_class] = method
+            cls._dispatch = table
+        return cls._dispatch
+
+    def eval(self, node: ops.Op, values: dict[int, FusedVal]) -> FusedVal:
+        method = self._dispatch_table().get(type(node))
+        if method is None:
+            raise FusedUnsupported(f"fused dispatch does not implement {node.opname}")
+        return method(self, node, values)
+
+    def force(self, val: FusedVal) -> StructuredVector:
+        """Materialize at the output boundary (memoized per value)."""
+        vec = self._forced.get(id(val))
+        if vec is None:
+            vec = self.rt.force(val)
+            self._forced[id(val)] = vec
+        return vec
+
+    def prepare_feed(self, val: FusedVal, mode: str) -> FusedVal:
+        """Ready a GLOBAL value for seeding into chunk workers.
+
+        Pending scatters land once here (not once per chunk); values fed
+        ``sliced`` get their virtual attributes materialized a single
+        time so per-chunk slices stay views.
+        """
+        if val.scatter is not None:
+            val = self.rt._apply_scatter(val)
+        if mode == "sliced" and val.virtual:
+            cols = dict(val.cols)
+            masks = dict(val.masks)
+            for path, info in val.virtual.items():
+                cols[path] = info.materialize(val.length)
+                masks[path] = None
+            val = FusedVal(val.length, cols, masks)
+        return val
+
+    @staticmethod
+    def _get(values: dict[int, FusedVal], node: ops.Op) -> FusedVal:
+        return values[id(node)]
+
+    # -- maintenance ---------------------------------------------------------
+
+    def _eval_load(self, node: ops.Load, values) -> FusedVal:
+        return self.rt.load(node.name)
+
+    def _eval_persist(self, node: ops.Persist, values) -> FusedVal:
+        return self._get(values, node.source)
+
+    # -- shape ---------------------------------------------------------------
+
+    def _eval_range(self, node: ops.Range, values) -> FusedVal:
+        length = (
+            node.size if node.size is not None
+            else self._get(values, node.sizeref).length
+        )
+        return self.rt.range_(node.out, node.start, node.step, length)
+
+    def _eval_constant(self, node: ops.Constant, values) -> FusedVal:
+        return self.rt.constant(node.out, node.value, node.dtype)
+
+    def _eval_cross(self, node: ops.Cross, values) -> FusedVal:
+        return self.rt.cross(
+            node.kp1, self._get(values, node.left),
+            node.kp2, self._get(values, node.right),
+        )
+
+    # -- element-wise / structural -------------------------------------------
+
+    def _eval_binary(self, node: ops.Binary, values) -> FusedVal:
+        return self.rt.binary(
+            node.fn, node.out,
+            self._get(values, node.left), node.left_kp,
+            self._get(values, node.right), node.right_kp,
+        )
+
+    def _eval_unary(self, node: ops.Unary, values) -> FusedVal:
+        return self.rt.unary(
+            node.fn, node.out, self._get(values, node.source),
+            node.source_kp, node.dtype,
+        )
+
+    def _eval_zip(self, node: ops.Zip, values) -> FusedVal:
+        return self.rt.zip(
+            self._get(values, node.left), node.kp1, node.out1,
+            self._get(values, node.right), node.kp2, node.out2,
+        )
+
+    def _eval_project(self, node: ops.Project, values) -> FusedVal:
+        return self.rt.project(node.out, self._get(values, node.source), node.kp)
+
+    def _eval_upsert(self, node: ops.Upsert, values) -> FusedVal:
+        return self.rt.upsert(
+            self._get(values, node.target), node.out,
+            self._get(values, node.value), node.kp,
+        )
+
+    def _eval_gather(self, node: ops.Gather, values) -> FusedVal:
+        return self.rt.gather(
+            self._get(values, node.source),
+            self._get(values, node.positions), node.pos_kp,
+        )
+
+    def _eval_scatter(self, node: ops.Scatter, values) -> FusedVal:
+        sizeref = node.sizeref if node.sizeref is not None else node.positions
+        return self.rt.scatter(
+            self._get(values, node.data),
+            self._get(values, node.positions), node.pos_kp,
+            size=self._get(values, sizeref).length,
+            keep_virtual=id(node) in self._keep_virtual,
+        )
+
+    def _eval_materialize(self, node: ops.Materialize, values) -> FusedVal:
+        return self.rt.materialize(self._get(values, node.source), None)
+
+    def _eval_break(self, node: ops.Break, values) -> FusedVal:
+        return self.rt.break_(self._get(values, node.source))
+
+    def _eval_partition(self, node: ops.Partition, values) -> FusedVal:
+        return self.rt.partition(
+            node.out, self._get(values, node.source), node.kp,
+            self._get(values, node.pivots), node.pivot_kp,
+        )
+
+    # -- folds ---------------------------------------------------------------
+
+    def _eval_foldselect(self, node: ops.FoldSelect, values) -> FusedVal:
+        return self.rt.fold_select(
+            node.out, self._get(values, node.source), node.sel_kp, node.fold_kp
+        )
+
+    def _eval_foldaggregate(self, node: ops.FoldAggregate, values) -> FusedVal:
+        return self.rt.fold_aggregate(
+            node.fn, node.out, self._get(values, node.source),
+            node.agg_kp, node.fold_kp,
+        )
+
+    def _eval_foldscan(self, node: ops.FoldScan, values) -> FusedVal:
+        return self.rt.fold_scan(
+            node.out, self._get(values, node.source), node.s_kp,
+            node.fold_kp, node.inclusive,
+        )
+
+    def _eval_foldcount(self, node: ops.FoldCount, values) -> FusedVal:
+        return self.rt.fold_count(
+            node.out, self._get(values, node.source),
+            node.counted_kp, node.fold_kp,
+        )
+
+
+class FusedChunkRunner(FusedProgramRunner):
+    """Evaluates the chunked zones over one chunk ``[lo, hi)``.
+
+    Mirrors the overrides of the interpreter's chunk worker exactly, but
+    on fused values: every slot of every produced value is bit-identical
+    to the slot sequential (fused or interpreted) execution assigns to
+    that global row.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        driving_slice: FusedVal,
+        driving_id: int,
+        chunked_ids: frozenset,
+        lo: int,
+        hi: int,
+        extent: int,
+    ):
+        # chunk zones never contain a Scatter (the planner keeps them
+        # SEQ), so skip the per-chunk consumers walk entirely
+        super().__init__(program, storage=None, keep_virtual=frozenset())
+        self._driving_slice = driving_slice
+        self._driving_id = driving_id
+        self._chunked_ids = chunked_ids
+        self.lo = lo
+        self.hi = hi
+        self.extent = extent
+
+    def _eval_load(self, node: ops.Load, values) -> FusedVal:
+        if id(node) != self._driving_id:  # pragma: no cover - planner invariant
+            raise ExecutionError(f"chunk worker asked to load {node.name!r}")
+        return self._driving_slice
+
+    def _eval_range(self, node: ops.Range, values) -> FusedVal:
+        # The chunk starts at global row `lo`: shift the symbolic start so
+        # every slot holds the value sequential execution assigns to that
+        # row.  The RunInfo stays virtual — chunk-local uniform-run fold
+        # kernels keep engaging because chunk boundaries are run-aligned.
+        length = self._get(values, node.sizeref).length
+        return self.rt.range_(node.out, node.start + self.lo * node.step,
+                              node.step, length)
+
+    def _eval_foldselect(self, node: ops.FoldSelect, values) -> FusedVal:
+        result = super()._eval_foldselect(node, values)
+        if self.lo == 0:
+            return result
+        out = result.cols[node.out]  # freshly allocated by the fold kernel
+        mask = result.masks[node.out]
+        if mask is None:
+            out += self.lo  # local hit positions -> global positions
+        else:
+            out[mask] += self.lo
+        return result
+
+    def _eval_gather(self, node: ops.Gather, values) -> FusedVal:
+        if id(node.source) not in self._chunked_ids:
+            return super()._eval_gather(node, values)  # global source, as-is
+        # Partitioned source: positions are global, the source is a chunk.
+        source = self._get(values, node.source)
+        positions = self._get(values, node.positions)
+        pos, pos_mask = extract(positions, node.pos_kp)
+        valid = (pos >= 0) & (pos < self.extent)
+        if pos_mask is not None:
+            valid &= pos_mask
+        if bool(np.any(valid & ((pos < self.lo) | (pos >= self.hi)))):
+            raise ChunkCrossing(
+                f"gather positions escape chunk [{self.lo}, {self.hi})"
+            )
+        local = pos.astype(np.int64) - self.lo
+        if source.scatter is not None:
+            source = self.rt._apply_scatter(source)
+        cols, masks = self.rt._dense_parts(source)
+        if pos_mask is not None and np.count_nonzero(pos_mask) * 2 < len(pos):
+            out_cols, out_masks = kernels.gather_compacted(
+                local, pos_mask, source.length, cols, masks
+            )
+        else:
+            out_cols, out_masks = semantics.gather(
+                local, pos_mask, source.length, cols, masks
+            )
+        return FusedVal(len(pos), out_cols, _normalized(out_masks))
+
+
+def run_fused_chunk(
+    program: Program,
+    chunk_indices: list[int],
+    frontier: list[int],
+    seeded: dict[int, FusedVal],
+    driving: int,
+    lo: int,
+    hi: int,
+    extent: int,
+) -> dict[int, FusedVal]:
+    """Worker body: evaluate the chunk subgraph fused, return frontier values.
+
+    Module-level (not a closure) and keyed by topological-order indices
+    so the same function serves thread and process pools.
+    """
+    order = program.order
+    chunked_ids = frozenset(id(order[i]) for i in chunk_indices)
+    runner = FusedChunkRunner(
+        program,
+        driving_slice=seeded[driving],
+        driving_id=id(order[driving]),
+        chunked_ids=chunked_ids,
+        lo=lo,
+        hi=hi,
+        extent=extent,
+    )
+    values: dict[int, FusedVal] = {id(order[i]): val for i, val in seeded.items()}
+    for i in chunk_indices:
+        node = order[i]
+        if id(node) not in values:
+            values[id(node)] = runner.eval(node, values)
+    return {i: values[id(order[i])] for i in frontier}

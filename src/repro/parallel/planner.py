@@ -10,8 +10,12 @@ and a storage context, it classifies every node into one of four zones
   once, sequentially, before the workers start, and shared read-only.
 * **PARTITIONED** — evaluated per chunk on the worker pool.  Every slot of
   a partitioned value is bit-identical to the slot the sequential
-  interpreter would produce, because the chunk interpreter offsets
+  interpreter would produce, because the chunk worker offsets
   ``Range`` starts and ``FoldSelect`` positions by the chunk origin.
+  Two chunk backends honor this contract: the materializing
+  interpreter (``_ChunkInterpreter``) and the fused runtime
+  (:mod:`repro.parallel.fused`, the default), which keeps the offset
+  ``Range`` symbolic so uniform-run fold kernels engage inside chunks.
 * **GFOLD / GSELECT** — folds whose single run spans the whole vector.
   Workers compute per-chunk *partials* which the executor re-folds
   (``sum``/``max``/``min``/count) or re-compacts (select positions).  Only

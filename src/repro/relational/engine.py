@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.compiler import CompiledProgram, CompilerOptions, ExecutionOptions, compile_program
 from repro.core.keypath import Keypath
-from repro.errors import TranslationError
+from repro.errors import ExecutionError, TranslationError
 from repro.hardware.cost import CostReport
 from repro.hardware.trace import Trace
 from repro.parallel import ParallelInterpreter
@@ -78,9 +78,9 @@ class QueryResult:
     """Result plus everything observability needs.
 
     ``compiled`` is ``None`` when the query ran on the partition-parallel
-    interpreter backend (``parallelism=``), which executes real kernels
-    on real cores instead of simulating a device — there is no priced
-    trace to report, so ``trace``/``cost`` are empty.
+    backend (``parallelism=``), which executes real (fused, by default)
+    kernels on real cores instead of simulating a device — there is no
+    priced trace to report, so ``trace``/``cost`` are empty.
     """
 
     table: ResultTable
@@ -97,20 +97,34 @@ class VoodooEngine:
     """Executes relational queries through the Voodoo backend.
 
     ``parallelism=N`` (N > 1) switches execution to the partition-parallel
-    interpreter: queries are translated as usual, then split into chunks
+    backend: queries are translated as usual, then split into chunks
     along control-vector runs and run on an N-wide worker pool, producing
-    results bit-identical to the sequential backends.
+    results bit-identical to the sequential backends.  By default the
+    chunks execute on the *fused* wall-clock kernels
+    (``ExecutionOptions.fastpath``) — fusion and multicore compose.
 
     ``tracing=False`` runs queries on the fused wall-clock kernels
     (:mod:`repro.compiler.rt_fast`): identical results, no operation
-    trace, no simulated cost — the serving configuration.
+    trace, no simulated cost — the serving configuration.  ``tracing``
+    defaults to ``True`` for sequential engines and ``False`` for
+    parallel ones (the parallel backend executes real kernels on real
+    cores; there is no priced trace to collect).  Asking explicitly for
+    ``tracing=True`` together with ``workers > 1`` raises
+    :class:`~repro.errors.ExecutionError` instead of silently returning
+    a trace that prices to zero.
+
+    The parallel backend — and with it its thread/process worker pool —
+    is constructed once and **reused across queries**.  Call
+    :meth:`close` (or use the engine as a context manager) to shut the
+    pool down deterministically.
 
     Compilation artifacts are memoized in a **plan cache** keyed on the
     relational query *structure* (not object identity), the store's
     schema fingerprint, and every option that influences code generation
-    (device, selection strategy, fuse/fastpath, grain, workers).  A
-    repeated query skips translate + optimize + codegen entirely;
-    changing the schema or any knob invalidates the entry.
+    or execution (device, selection strategy, fuse/fastpath, grain,
+    workers, pool kind).  A repeated query skips translate + optimize +
+    codegen entirely; changing the schema or any knob invalidates the
+    entry.
     """
 
     def __init__(
@@ -120,7 +134,7 @@ class VoodooEngine:
         grain: int | None = None,
         parallelism: int | None = None,
         execution: ExecutionOptions | None = None,
-        tracing: bool = True,
+        tracing: bool | None = None,
         plan_cache: bool = True,
     ):
         self.store = store
@@ -133,11 +147,24 @@ class VoodooEngine:
         if execution is None and parallelism is not None:
             execution = ExecutionOptions(workers=parallelism)
         self.execution = execution
+        parallel = execution is not None and execution.workers > 1
+        if tracing is None:
+            tracing = not parallel
+        elif tracing and parallel:
+            raise ExecutionError(
+                "tracing=True is incompatible with workers > 1: the "
+                "partition-parallel backend executes real kernels and has "
+                "no priced trace to collect.  Use a sequential engine for "
+                "simulation, or tracing=False (the parallel default)."
+            )
         self.tracing = tracing
+        self._parallel_backend: ParallelInterpreter | None = None
         self._plan_cache: dict | None = {} if plan_cache else None
         self._program_cache: dict = {}
-        self.cache_hits = 0
-        self.cache_misses = 0
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
+        self.program_cache_hits = 0
+        self.program_cache_misses = 0
 
     def vectors(self):
         """The Load context; rebuilt per call so late-registered auxiliary
@@ -158,13 +185,20 @@ class VoodooEngine:
         )
 
     def cache_info(self) -> dict[str, int]:
-        """Shared hit/miss counters plus per-cache sizes (``size`` = compiled
-        plans for the sequential path, ``programs`` = translated programs
-        for the parallel path)."""
+        """Per-cache hit/miss counters and sizes.
+
+        ``plan_*`` describes the compiled-plan cache used by the
+        sequential path (``size`` entries); ``program_*`` the
+        translated-program cache used by the parallel path (``programs``
+        entries).  The two are separate caches with separate counters —
+        a parallel engine never touches the plan cache and vice versa.
+        """
         size = len(self._plan_cache) if self._plan_cache is not None else 0
         return {
-            "hits": self.cache_hits,
-            "misses": self.cache_misses,
+            "plan_hits": self.plan_cache_hits,
+            "plan_misses": self.plan_cache_misses,
+            "program_hits": self.program_cache_hits,
+            "program_misses": self.program_cache_misses,
             "size": size,
             "programs": len(self._program_cache),
         }
@@ -179,16 +213,27 @@ class VoodooEngine:
     def translate(self, query: Query):
         return Translator(self.store, grain=self.grain).translate_query(query)
 
+    #: entry cap per cache; the key includes literal constants, so a
+    #: parameterized workload (same shape, different thresholds) would
+    #: otherwise grow a serving engine's memory without bound
+    CACHE_CAPACITY = 256
+
+    @classmethod
+    def _evict(cls, cache: dict) -> None:
+        if len(cache) >= cls.CACHE_CAPACITY:
+            cache.pop(next(iter(cache)))
+
     def compile(self, query: Query) -> CompiledProgram:
         if self._plan_cache is None:
             return compile_program(self.translate(query), self.options)
         key = self.cache_key(query)
         compiled = self._plan_cache.get(key)
         if compiled is not None:
-            self.cache_hits += 1
+            self.plan_cache_hits += 1
             return compiled
-        self.cache_misses += 1
+        self.plan_cache_misses += 1
         compiled = compile_program(self.translate(query), self.options)
+        self._evict(self._plan_cache)
         self._plan_cache[key] = compiled
         return compiled
 
@@ -217,26 +262,54 @@ class VoodooEngine:
         key = self.cache_key(query)
         program = self._program_cache.get(key)
         if program is not None:
-            self.cache_hits += 1
+            self.program_cache_hits += 1
             return program
-        self.cache_misses += 1
+        self.program_cache_misses += 1
         program = self.translate(query)
+        self._evict(self._program_cache)
         self._program_cache[key] = program
         return program
 
     def _execute_parallel(self, query: Query) -> QueryResult:
-        """Multicore end-to-end: translate, then chunk over a worker pool."""
-        interpreter = ParallelInterpreter(
-            self.vectors(), workers=self.execution.workers, pool=self.execution.pool
-        )
-        outputs = interpreter.run(self._translate_cached(query))
+        """Multicore end-to-end: translate, then chunk over the engine's
+        persistent worker pool (fused chunk kernels by default)."""
+        if self._parallel_backend is None:
+            fastpath = (
+                self.execution.fastpath and self.options.fastpath and self.options.fuse
+            )
+            self._parallel_backend = ParallelInterpreter(
+                workers=self.execution.workers,
+                pool=self.execution.pool,
+                fastpath=fastpath,
+            )
+        backend = self._parallel_backend
+        backend.reset_storage(self.vectors())
+        outputs = backend.run(self._translate_cached(query))
         table = self._extract(query, outputs["result"])
+        mode = "fused" if backend.fastpath else "interpreted"
         return QueryResult(
             table=table,
             trace=Trace(),
-            cost=CostReport(device=f"{self.execution.workers}-core pool"),
+            cost=CostReport(device=f"{self.execution.workers}-core pool ({mode})"),
             compiled=None,
         )
+
+    def close(self) -> None:
+        """Shut down the persistent parallel worker pool (idempotent).
+
+        Sequential engines have nothing to release; parallel engines —
+        especially with ``pool="process"`` — should be closed (or used
+        as context managers) so worker processes exit deterministically.
+        """
+        if self._parallel_backend is not None:
+            self._parallel_backend.close()
+            self._parallel_backend = None
+
+    def __enter__(self) -> "VoodooEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def query(self, query: Query) -> ResultTable:
         return self.execute(query).table

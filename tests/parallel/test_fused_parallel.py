@@ -1,0 +1,309 @@
+"""Fusion × multicore: the composed fast path, bit-identical end to end.
+
+The acceptance bar for ISSUE 3: every evaluated TPC-H query produces
+exactly the same vectors — values, dtypes *and* ε masks — on the
+sequential fused kernels and on the fused-parallel backend at workers=2
+and workers=4; a hypothesis property test covers chunk boundaries that
+cut group-by runs mid-group; and the engine-level satellites (persistent
+pool lifecycle, tracing × workers conflict) are locked in.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import ExecutionOptions, compile_program
+from repro.core import Builder, Schema, StructuredVector
+from repro.errors import ExecutionError
+from repro.interpreter import Interpreter
+from repro.parallel import ParallelInterpreter
+from repro.relational import VoodooEngine
+from repro.tpch import QUERIES, build, generate
+
+
+def assert_bit_identical(expected: dict, got: dict, context=()) -> None:
+    assert expected.keys() == got.keys()
+    for name in expected:
+        a, b = expected[name], got[name]
+        assert len(a) == len(b), (*context, name)
+        assert set(a.paths) == set(b.paths), (*context, name)
+        for p in a.paths:
+            assert a.attr(p).dtype == b.attr(p).dtype, (*context, name, str(p))
+            assert np.array_equal(a.attr(p), b.attr(p)), (*context, name, str(p), "values")
+            assert np.array_equal(a.present(p), b.present(p)), (*context, name, str(p), "masks")
+
+
+@pytest.fixture(scope="module")
+def store():
+    return generate(0.005, seed=7)
+
+
+@pytest.fixture(scope="module")
+def engine(store):
+    return VoodooEngine(store)
+
+
+@pytest.mark.parametrize("number", sorted(QUERIES))
+@pytest.mark.parametrize("workers", (2, 4))
+def test_tpch_fused_parallel_bit_identical(store, engine, number, workers):
+    """Sequential fused vs fused-parallel: same bits on all 14 queries."""
+    query = build(store, number)  # may register LIKE membership aux vectors
+    program = engine.translate(query)
+    compiled = compile_program(program, engine.options)
+    fused_seq, _ = compiled.run(store.vectors(), collect_trace=False)
+    runner = ParallelInterpreter(store.vectors(), workers=workers, fastpath=True)
+    fused_par = runner.run(program)
+    assert runner.last_plan is not None and runner.last_plan.parallel, (
+        f"Q{number} did not parallelize: {runner.last_plan.reason}"
+    )
+    runner.close()
+    assert_bit_identical(fused_seq, fused_par, context=(number, workers))
+
+
+def test_engine_fused_parallel_tables_agree(store, engine):
+    """The parallelism= knob (fused chunks by default) returns the same
+    result tables as the sequential traced engine."""
+    with VoodooEngine(store, parallelism=2) as parallel_engine:
+        for number in sorted(QUERIES):
+            reference = engine.execute(build(store, number)).table
+            table = parallel_engine.execute(build(store, number)).table
+            assert table.columns == reference.columns, number
+            for column in reference.columns:
+                assert np.array_equal(
+                    table.column(column), reference.column(column)
+                ), (number, column)
+
+
+# ----------------------------------------------------- group-by run splits
+
+
+def groupby_program(n: int, grain: int, cards: int):
+    """Filter + grouped sum/count/max over a gid — the Q1 shape, with a
+    chunked partial-fold stage whose runs the chunk boundaries may cut."""
+    b = Builder({"facts": Schema({".k": "int64", ".v": "float64", ".w": "int64"})})
+    facts = b.load("facts")
+    pred = b.less_equal(facts.project(".w"), b.constant(70), out=".sel")
+    ctrl = b.divide(b.range(facts), b.constant(grain), out=".chunk")
+    chained = b.zip(b.zip(facts, pred), ctrl)
+    positions = b.fold_select(chained, sel_kp=".sel", fold_kp=".chunk", out=".pos")
+    kept = b.gather(facts, positions, pos_kp=".pos")
+    pivots = b.range(cards, out=".pv")
+    part = b.partition(kept.project(".k"), pivots, out=".dest")
+    scattered = b.scatter(kept, part, pos_kp=".dest")
+    sums = b.fold_sum(scattered, agg_kp=".v", fold_kp=".k", out=".sum")
+    counts = b.fold_count(scattered, counted_kp=".v", fold_kp=".k", out=".cnt")
+    tops = b.fold_max(scattered, agg_kp=".w", fold_kp=".k", out=".top")
+    return b.build(sums=sums, counts=counts, tops=tops)
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    workers=st.sampled_from([2, 3, 4]),
+    grain=st.sampled_from([64, 1000, 4096]),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_groupby_runs_split_mid_group(seed, workers, grain):
+    """Chunk boundaries land mid-group (n is never a multiple of the key
+    layout, keys repeat across every chunk): fused-parallel must still be
+    bit-identical to the sequential interpreter."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(100, 20_000))
+    cards = int(rng.integers(2, 13))
+    store = {
+        "facts": StructuredVector(
+            n,
+            {
+                ".k": rng.integers(0, cards, n).astype(np.int64),
+                ".v": (rng.random(n) * 100).astype(np.float64),
+                ".w": rng.integers(0, 100, n).astype(np.int64),
+            },
+        )
+    }
+    program = groupby_program(n, grain, cards)
+    seq = Interpreter(store).run(program)
+    runner = ParallelInterpreter(store, workers=workers, fastpath=True)
+    par = runner.run(program)
+    runner.close()
+    assert_bit_identical(seq, par, context=(seed, workers))
+
+
+# ----------------------------------------------------- pool lifecycle
+
+
+class TestPersistentPool:
+    def _program(self, n=50_000):
+        b = Builder({"facts": Schema({".v": "int64"})})
+        facts = b.load("facts")
+        ctrl = b.divide(b.range(facts), b.constant(4096), out=".g")
+        partial = b.fold_sum(b.zip(facts, ctrl), agg_kp=".v", fold_kp=".g", out=".p")
+        return b.build(total=b.fold_sum(partial, agg_kp=".p", out=".total"))
+
+    def _store(self, n=50_000, seed=0):
+        rng = np.random.default_rng(seed)
+        return {
+            "facts": StructuredVector.single(
+                ".v", rng.integers(0, 100, n).astype(np.int64)
+            )
+        }
+
+    def test_pool_is_reused_across_runs(self):
+        runner = ParallelInterpreter(self._store(), workers=2)
+        program = self._program()
+        runner.run(program)
+        first = runner._executor
+        runner.run(program)
+        if first is not None:  # single-core hosts execute chunks inline
+            assert runner._executor is first
+        runner.close()
+        assert runner._executor is None
+
+    def test_close_is_idempotent_and_reopens(self):
+        runner = ParallelInterpreter(self._store(), workers=2)
+        program = self._program()
+        expected = runner.run(program)["total"].attr(".total")
+        runner.close()
+        runner.close()  # idempotent
+        again = runner.run(program)["total"].attr(".total")  # transparently reopens
+        assert np.array_equal(expected, again)
+        runner.close()
+
+    def test_context_manager(self):
+        with ParallelInterpreter(self._store(), workers=2) as runner:
+            runner.run(self._program())
+        assert runner._executor is None
+
+    def test_engine_reuses_backend_and_closes(self):
+        store = generate(0.002, seed=3)
+        engine = VoodooEngine(store, parallelism=2)
+        engine.execute(build(store, 6))
+        backend = engine._parallel_backend
+        assert backend is not None
+        engine.execute(build(store, 6))
+        assert engine._parallel_backend is backend  # one backend, many queries
+        engine.close()
+        assert engine._parallel_backend is None
+
+    def test_engine_context_manager(self):
+        store = generate(0.002, seed=3)
+        with VoodooEngine(store, parallelism=2) as engine:
+            engine.query(build(store, 6))
+        assert engine._parallel_backend is None
+
+
+@pytest.mark.parametrize("pool", ("thread", "process"))
+def test_forced_pool_submission_bit_identical(pool):
+    """Fused chunk workers through a *real* pool (FusedVal pickling for
+    processes included) — forced even on single-core hosts, where chunk
+    execution would otherwise stay inline."""
+    rng = np.random.default_rng(21)
+    n = 20_000
+    store = {
+        "facts": StructuredVector.single(
+            ".v", rng.integers(0, 100, n).astype(np.int64)
+        )
+    }
+    b = Builder({"facts": Schema({".v": "int64"})})
+    facts = b.load("facts")
+    ctrl = b.divide(b.range(facts), b.constant(1024), out=".g")
+    partial = b.fold_sum(b.zip(facts, ctrl), agg_kp=".v", fold_kp=".g", out=".p")
+    program = b.build(total=b.fold_sum(partial, agg_kp=".p", out=".total"))
+    seq = Interpreter(store).run(program)
+    with ParallelInterpreter(store, workers=2, pool=pool, fastpath=True) as runner:
+        runner._effective = 2  # bypass the single-core inline shortcut
+        par = runner.run(program)
+        assert runner.last_plan.parallel
+    assert_bit_identical(seq, par)
+
+
+@pytest.mark.parametrize("pool", ("thread", "process"))
+def test_forced_pool_groupby_seq_zone(pool):
+    """A grouped query's SEQ zone through a real pool (regression: the
+    SEQ-zone fold fan-out submitted id-keyed values to process workers,
+    whose re-pickled nodes carry different ids — KeyError on any
+    multi-core host with pool="process")."""
+    rng = np.random.default_rng(22)
+    n = 12_000
+    store = {
+        "facts": StructuredVector(
+            n,
+            {
+                ".k": rng.integers(0, 8, n).astype(np.int64),
+                ".v": (rng.random(n) * 100).astype(np.float64),
+                ".w": rng.integers(0, 100, n).astype(np.int64),
+            },
+        )
+    }
+    program = groupby_program(n, 1024, 8)
+    seq = Interpreter(store).run(program)
+    with ParallelInterpreter(store, workers=2, pool=pool, fastpath=True) as runner:
+        runner._effective = 2
+        par = runner.run(program)
+    assert_bit_identical(seq, par)
+
+
+def test_plan_memo_invalidated_on_dtype_change():
+    """Regression: the executor's plan memo must key on dtypes, not just
+    shapes — a float sum is only exact sequentially, so swapping an int
+    column for floats of the same length must re-plan (GFOLD -> SEQ)."""
+    n = 50_001
+    rng = np.random.default_rng(33)
+    ints = rng.integers(0, 100, n).astype(np.int64)
+    floats = rng.random(n).astype(np.float64)
+    b = Builder({"facts": Schema({".v": "int64"})})
+    program = b.build(
+        total=b.fold_sum(b.load("facts"), agg_kp=".v", out=".total")
+    )
+    with ParallelInterpreter(
+        {"facts": StructuredVector.single(".v", ints)}, workers=4
+    ) as runner:
+        runner.run(program)
+        assert runner.last_plan.parallel  # int sum: merged GFOLD partials
+        runner.store("facts", StructuredVector.single(".v", floats))
+        par = runner.run(program)
+        seq = Interpreter({"facts": StructuredVector.single(".v", floats)}).run(program)
+        assert_bit_identical(seq, par)
+
+
+# ----------------------------------------------------- tracing conflict
+
+
+class TestTracingConflict:
+    def test_explicit_tracing_with_workers_raises(self):
+        store = generate(0.002, seed=3)
+        with pytest.raises(ExecutionError, match="tracing"):
+            VoodooEngine(store, parallelism=2, tracing=True)
+
+    def test_explicit_tracing_with_execution_options_raises(self):
+        store = generate(0.002, seed=3)
+        with pytest.raises(ExecutionError, match="tracing"):
+            VoodooEngine(store, execution=ExecutionOptions(workers=4), tracing=True)
+
+    def test_parallel_engine_defaults_to_untraced(self):
+        store = generate(0.002, seed=3)
+        with VoodooEngine(store, parallelism=2) as engine:
+            assert engine.tracing is False
+            result = engine.execute(build(store, 6))
+            assert result.compiled is None
+            assert len(result.trace) == 0
+
+    def test_sequential_engine_defaults_to_traced(self):
+        store = generate(0.002, seed=3)
+        engine = VoodooEngine(store)
+        assert engine.tracing is True
+        result = engine.execute(build(store, 6))
+        assert len(result.trace) > 0
+
+
+# ----------------------------------------------------- fastpath opt-out
+
+
+def test_fastpath_false_matches_fused(store, engine):
+    """ExecutionOptions(fastpath=False) keeps the interpreter chunk path
+    alive — and it agrees with the fused chunk path bit for bit."""
+    program = engine.translate(build(store, 6))
+    fused = ParallelInterpreter(store.vectors(), workers=2, fastpath=True)
+    plain = ParallelInterpreter(store.vectors(), workers=2, fastpath=False)
+    assert_bit_identical(plain.run(program), fused.run(program))
+    fused.close()
+    plain.close()

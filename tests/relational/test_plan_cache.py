@@ -49,7 +49,11 @@ class TestPlanCache:
         engine = VoodooEngine(make_store())
         first = engine.execute(make_query())
         second = engine.execute(make_query())  # structurally equal, new objects
-        assert engine.cache_info() == {"hits": 1, "misses": 1, "size": 1, "programs": 0}
+        assert engine.cache_info() == {
+            "plan_hits": 1, "plan_misses": 1,
+            "program_hits": 0, "program_misses": 0,
+            "size": 1, "programs": 0,
+        }
         assert second.compiled is first.compiled  # codegen really skipped
         for column in first.table.columns:
             assert np.array_equal(first.table.column(column), second.table.column(column))
@@ -59,29 +63,39 @@ class TestPlanCache:
         engine.execute(make_query())
         other = Query(plan=Scan("t").filter(Col("v") > Lit(0.9)), select=["v"])
         engine.execute(other)
-        assert engine.cache_info()["misses"] == 2
+        assert engine.cache_info()["plan_misses"] == 2
 
     def test_disabled_cache(self):
         engine = VoodooEngine(make_store(), plan_cache=False)
         engine.execute(make_query())
         engine.execute(make_query())
-        assert engine.cache_info() == {"hits": 0, "misses": 0, "size": 0, "programs": 0}
+        assert engine.cache_info() == {
+            "plan_hits": 0, "plan_misses": 0,
+            "program_hits": 0, "program_misses": 0,
+            "size": 0, "programs": 0,
+        }
 
     def test_parallel_path_caches_programs(self):
-        engine = VoodooEngine(make_store(), parallelism=2)
-        first = engine.execute(make_query())
-        second = engine.execute(make_query())
-        info = engine.cache_info()
-        assert info["programs"] == 1 and info["hits"] == 1 and info["size"] == 0
-        for column in first.table.columns:
-            assert np.array_equal(first.table.column(column), second.table.column(column))
+        """The parallel path populates only the program cache — and the
+        split counters keep it from polluting plan-cache accounting."""
+        with VoodooEngine(make_store(), parallelism=2) as engine:
+            first = engine.execute(make_query())
+            second = engine.execute(make_query())
+            info = engine.cache_info()
+            assert info["programs"] == 1 and info["size"] == 0
+            assert info["program_hits"] == 1 and info["program_misses"] == 1
+            assert info["plan_hits"] == 0 and info["plan_misses"] == 0
+            for column in first.table.columns:
+                assert np.array_equal(
+                    first.table.column(column), second.table.column(column)
+                )
 
     def test_clear(self):
         engine = VoodooEngine(make_store())
         engine.execute(make_query())
         engine.clear_plan_cache()
         engine.execute(make_query())
-        assert engine.cache_info()["misses"] == 2
+        assert engine.cache_info()["plan_misses"] == 2
 
 
 class TestInvalidation:
@@ -94,8 +108,8 @@ class TestInvalidation:
         store.add(Table.from_arrays("extra", x=np.arange(3)))
         assert engine.cache_key(make_query()) != key_before
         engine.execute(make_query())  # recompiles, still correct
-        assert engine.cache_info()["misses"] == 2
-        assert engine.cache_info()["hits"] == 0
+        assert engine.cache_info()["plan_misses"] == 2
+        assert engine.cache_info()["plan_hits"] == 0
 
     def test_store_fingerprint_covers_shapes(self):
         a, b = make_store(n=64), make_store(n=65)
@@ -121,6 +135,29 @@ class TestInvalidation:
             VoodooEngine(store, grain=128).cache_key(make_query()),
         }
         assert len(keys) == 3
+
+    def test_workers_only_change_invalidates(self):
+        """Regression: two engines differing ONLY in ExecutionOptions.workers
+        (same store, same options, same grain) must not share cache keys."""
+        store = make_store()
+        keys = {
+            VoodooEngine(store, execution=ExecutionOptions(workers=2)).cache_key(make_query()),
+            VoodooEngine(store, execution=ExecutionOptions(workers=4)).cache_key(make_query()),
+        }
+        assert len(keys) == 2
+
+    def test_execution_fastpath_in_key(self):
+        """The fastpath × workers mode is part of the plan identity."""
+        store = make_store()
+        keys = {
+            VoodooEngine(
+                store, execution=ExecutionOptions(workers=2, fastpath=True)
+            ).cache_key(make_query()),
+            VoodooEngine(
+                store, execution=ExecutionOptions(workers=2, fastpath=False)
+            ).cache_key(make_query()),
+        }
+        assert len(keys) == 2
 
     def test_aux_vectors_do_not_thrash_the_cache(self):
         """LIKE membership tables registered during translation must not
