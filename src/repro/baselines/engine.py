@@ -23,6 +23,7 @@ from repro.errors import ExecutionError
 from repro.hardware.cost import CostModel, CostReport
 from repro.hardware.device import DeviceProfile, get_device
 from repro.hardware.trace import Trace, TraceEvent, TraceRecorder
+from repro.interpreter.semantics import fold_fill
 from repro.relational import algebra as ra
 from repro.relational import expressions as ex
 from repro.storage import ColumnStore
@@ -222,8 +223,9 @@ class BaselineEngine:
                 np.add.at(counts, idx, 1)
                 return out / np.maximum(counts, 1)
             return out
-        fill = np.finfo(np.float64).min if fn == "max" else np.finfo(np.float64).max
-        out = np.full(n_groups, fill)
+        # shared ±inf fold identity: finfo.min/max would clamp genuine
+        # infinities, diverging from the engine on ±Inf data
+        out = np.full(n_groups, fold_fill(fn, np.dtype(np.float64)))
         ufunc = np.maximum if fn == "max" else np.minimum
         ufunc.at(out, idx, data.astype(np.float64))
         return out

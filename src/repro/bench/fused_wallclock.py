@@ -90,7 +90,12 @@ def _time_backends(program, storage, repeats: int) -> dict[str, float]:
 # ------------------------------------------------------- microbenchmarks
 
 
-def micro_store(n: int, seed: int = 0) -> dict[str, StructuredVector]:
+#: RNG seed of the micro/group-by stores (recorded as dataset provenance
+#: in the BENCH_*.json meta — keep the literal in exactly one place)
+MICRO_SEED = 0
+
+
+def micro_store(n: int, seed: int = MICRO_SEED) -> dict[str, StructuredVector]:
     rng = np.random.default_rng(seed)
     return {
         "facts": StructuredVector(
@@ -185,7 +190,8 @@ def groupby_micro(n: int, cards: int = 12, selectivity: float = 0.95):
     return b.build(sum1=s1, sum2=s2, cnt=cnt, top=top)
 
 
-def groupby_store(n: int, cards: int = 12, seed: int = 0) -> dict[str, StructuredVector]:
+def groupby_store(n: int, cards: int = 12,
+                  seed: int = MICRO_SEED) -> dict[str, StructuredVector]:
     rng = np.random.default_rng(seed)
     return {
         "gfacts": StructuredVector(
@@ -234,6 +240,7 @@ def run_multicore(
     scale: float = 0.05,
     queries=(1, 6, 9, 19),
     repeats: int = 3,
+    seed: int = 42,
 ) -> dict:
     """The fused × multicore trajectory (``BENCH_fused_mc.json``)."""
     micro_storage = micro_store(n)
@@ -242,7 +249,7 @@ def run_multicore(
         "projection": _time_multicore(projection_micro(n), micro_storage, repeats),
         "groupby": _time_multicore(groupby_micro(n), groupby_store(n), repeats),
     }
-    store = generate(scale, seed=42)
+    store = generate(scale, seed=seed)
     engine = VoodooEngine(store, CompilerOptions())
     tpch: dict[str, dict] = {}
     for number in queries:
@@ -274,6 +281,14 @@ def run_multicore(
                 "inline, so these rows measure fusion + chunking overhead, "
                 "not pool scaling"
             ),
+            # dataset provenance: regenerate with these seeds to replay
+            "datasets": [
+                dict(store.meta),
+                {"generator": "repro.bench.fused_wallclock.micro_store",
+                 "seed": MICRO_SEED, "n": n},
+                {"generator": "repro.bench.fused_wallclock.groupby_store",
+                 "seed": MICRO_SEED, "n": n},
+            ],
         },
         "micro": micro,
         "tpch": tpch,
@@ -314,8 +329,7 @@ def render_multicore(results: dict) -> str:
 # ------------------------------------------------------------- TPC-H
 
 
-def run_tpch(scale: float, queries, repeats: int = 3, seed: int = 42) -> dict:
-    store = generate(scale, seed=seed)
+def run_tpch(store, queries, repeats: int = 3) -> dict:
     engine = VoodooEngine(store, CompilerOptions())
     results: dict[str, dict] = {}
     for number in queries:
@@ -325,9 +339,8 @@ def run_tpch(scale: float, queries, repeats: int = 3, seed: int = 42) -> dict:
     return results
 
 
-def run_plan_cache(scale: float, query_number: int = 19, seed: int = 42) -> dict:
+def run_plan_cache(store, query_number: int = 19) -> dict:
     """Cold vs warm engine latency: what the plan cache saves per query."""
-    store = generate(scale, seed=seed)
     engine = VoodooEngine(store, CompilerOptions(), tracing=False)
     query = build(store, query_number)
     start = time.perf_counter()
@@ -353,10 +366,12 @@ def run_all(
     scale: float = 0.05,
     queries=(1, 4, 5, 6, 8, 9, 10, 12, 14, 19),
     repeats: int = 3,
+    seed: int = 42,
 ) -> dict:
     micro = run_micro(n, repeats=max(repeats, 3))
-    tpch = run_tpch(scale, queries, repeats=repeats)
-    cache = run_plan_cache(scale)
+    store = generate(scale, seed=seed)
+    tpch = run_tpch(store, queries, repeats=repeats)
+    cache = run_plan_cache(store)
     speedups = [row["speedup_fused_vs_traced"] for row in tpch.values()]
     summary = {
         "micro_selection_speedup": micro["selection"]["speedup_fused_vs_traced"],
@@ -373,6 +388,12 @@ def run_all(
             "python": platform.python_version(),
             "numpy": np.__version__,
             "timings_are": "best-of-k wall-clock seconds",
+            # dataset provenance: regenerate with these seeds to replay
+            "datasets": [
+                dict(store.meta),
+                {"generator": "repro.bench.fused_wallclock.micro_store",
+                 "seed": MICRO_SEED, "n": n},
+            ],
         },
         "micro": micro,
         "tpch": tpch,

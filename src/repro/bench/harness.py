@@ -12,6 +12,28 @@ from dataclasses import dataclass, field
 from typing import Iterable
 
 
+def dataset_record(store, **extra) -> dict:
+    """Provenance record for one generated dataset.
+
+    Merges the store's own ``.meta`` (generator, seed, scale — stamped
+    by e.g. :func:`repro.tpch.generate`) with caller extras; the single
+    place the record shape is defined for every figure type.
+    """
+    return {**getattr(store, "meta", {}), **extra}
+
+
+class _RecordsDatasets:
+    """Mixin: ``meta["datasets"]`` provenance for figure containers."""
+
+    def record_dataset(self, store, **extra) -> None:
+        """Attach a dataset's provenance (its ``.meta`` seed record);
+        exact-duplicate records (same dataset measured twice) collapse."""
+        record = dataset_record(store, **extra)
+        datasets = self.meta.setdefault("datasets", [])
+        if record not in datasets:
+            datasets.append(record)
+
+
 @dataclass
 class Series:
     """One line of a figure: a labelled sequence of (x, seconds) points."""
@@ -37,13 +59,19 @@ class Series:
 
 
 @dataclass
-class SeriesSet:
-    """All series of one figure panel, plus presentation metadata."""
+class SeriesSet(_RecordsDatasets):
+    """All series of one figure panel, plus presentation metadata.
+
+    ``meta`` records provenance — most importantly the RNG seed of every
+    generated dataset the figure measured (see :meth:`record_dataset`),
+    so a published number can be replayed exactly.
+    """
 
     title: str
     x_label: str
     y_label: str
     series: dict[str, Series] = field(default_factory=dict)
+    meta: dict = field(default_factory=dict)
 
     def line(self, label: str) -> Series:
         if label not in self.series:
@@ -77,12 +105,13 @@ class SeriesSet:
 
 
 @dataclass
-class BarSet:
+class BarSet(_RecordsDatasets):
     """A bar-chart figure (the TPC-H comparisons): groups x systems."""
 
     title: str
     groups: list[str] = field(default_factory=list)          # e.g. query names
     systems: dict[str, dict[str, float]] = field(default_factory=dict)
+    meta: dict = field(default_factory=dict)
 
     def set(self, system: str, group: str, value: float) -> None:
         self.systems.setdefault(system, {})[group] = value

@@ -46,14 +46,19 @@ def aggregation_program(n: int, grain: int = 8192):
     return b.build(total=b.fold_sum(psum, agg_kp=".psum", out=".total"))
 
 
+#: RNG seed of every TPC-H dataset this module generates (recorded as
+#: figure provenance — keep the literal in exactly one place)
+TPCH_SEED = 42
+
+
 def _tpch_compiled(number: int, scale: float, device: str):
     from repro.relational import VoodooEngine
     from repro.tpch import build, generate
 
-    store = generate(scale, seed=42)
+    store = generate(scale, seed=TPCH_SEED)
     engine = VoodooEngine(store, CompilerOptions(device=device))
     compiled = engine.compile(build(store, number))
-    return compiled, store.vectors()
+    return compiled, store.vectors(), store
 
 
 def simulated_curves(
@@ -76,6 +81,8 @@ def simulated_curves(
         y_label="seconds",
     )
     store = make_store(n)
+    figure.record_dataset(store, generator="repro.bench.selection.make_store",
+                          seed=0, n=n)
     workloads = []
 
     compiled = compile_program(
@@ -87,8 +94,9 @@ def simulated_curves(
     workloads.append(("Aggregation", compiled, store, (scale_to / n) if scale_to else 1.0))
 
     for number in (1, 6):
-        compiled, vectors = _tpch_compiled(number, tpch_scale, device)
+        compiled, vectors, tpch_store = _tpch_compiled(number, tpch_scale, device)
         workloads.append((f"TPC-H Q{number}", compiled, vectors, 1.0))
+        figure.record_dataset(tpch_store)
 
     for label, compiled, storage, scale in workloads:
         line = figure.line(label)
@@ -107,6 +115,8 @@ def wallclock_curve(n: int = 1 << 21, workers=WORKER_COUNTS, repeats: int = 3) -
         y_label="seconds",
     )
     store = make_store(n)
+    figure.record_dataset(store, generator="repro.bench.selection.make_store",
+                          seed=0, n=n)
     program = selection_program(n, 0.5, "Branching")
     line = figure.line("Selection (ParallelInterpreter)")
     for w in workers:

@@ -37,6 +37,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.interpreter.semantics import fold_fill
+
 # -------------------------------------------------------- uniform-run folds
 
 
@@ -114,11 +116,14 @@ def fold_aggregate_uniform(
             else:
                 use_idx = np.flatnonzero(mask)
                 use_runs = use_idx // L
+                # bincount returns int64 (not float64) for *empty* weights —
+                # an all-ε input must still produce a float sum vector
+                # (conformance-fuzzer finding)
                 per_run = np.bincount(
                     use_runs,
                     weights=values[use_idx].astype(np.float64, copy=False),
                     minlength=n_runs,
-                )
+                ).astype(np.float64, copy=False)
                 nonempty = np.zeros(n_runs, dtype=bool)
                 nonempty[use_runs] = True
         else:
@@ -131,8 +136,7 @@ def fold_aggregate_uniform(
                 nonempty = mask.reshape(n_runs, L).any(axis=1)
     else:
         ufunc = np.maximum if fn == "max" else np.minimum
-        info = np.finfo if acc_dtype.kind == "f" else np.iinfo
-        fill = info(acc_dtype).min if fn == "max" else info(acc_dtype).max
+        fill = fold_fill(fn, acc_dtype)
         vals = values.astype(acc_dtype, copy=False)
         if mask is None:
             per_run = ufunc.reduceat(vals, starts)
@@ -334,7 +338,8 @@ def grouped_fold_aggregate(
     input-order ``np.bincount`` additions; integer sums wrap
     associatively so ``np.add.reduceat`` over ε-zeroed values equals
     ``np.add.at``; ``max``/``min`` are order-independent and ε slots are
-    substituted with the identical ``finfo``/``iinfo`` fill values.
+    substituted with the shared :func:`~repro.interpreter.semantics.fold_fill`
+    identities (±inf for floats, so genuine infinities survive the fold).
     """
     n_runs = runs.n_runs
     is_float = values.dtype.kind == "f"
@@ -351,9 +356,12 @@ def grouped_fold_aggregate(
             else:
                 use_idx = np.flatnonzero(mask)
                 use_runs = runs.rids[use_idx]
+                # bincount returns int64 (not float64) for *empty* weights —
+                # an all-ε input must still produce a float sum vector
+                # (conformance-fuzzer finding)
                 per_run = np.bincount(
                     use_runs, weights=weights[use_idx], minlength=n_runs
-                )
+                ).astype(np.float64, copy=False)
                 nonempty = np.zeros(n_runs, dtype=bool)
                 nonempty[use_runs] = True
             return per_run, nonempty
@@ -365,8 +373,7 @@ def grouped_fold_aggregate(
 
     ufunc = np.maximum if fn == "max" else np.minimum
     acc = np.dtype(acc_dtype)
-    info = np.finfo if acc.kind == "f" else np.iinfo
-    fill = info(acc).min if fn == "max" else info(acc).max
+    fill = fold_fill(fn, acc)
     vals = values.astype(acc, copy=False)
     if mask is None:
         return ufunc.reduceat(vals, runs.starts), np.ones(n_runs, dtype=bool)

@@ -117,6 +117,23 @@ def fold_select(
 _AGG_UFUNC = {"sum": np.add, "max": np.maximum, "min": np.minimum}
 
 
+def fold_fill(fn: str, acc_dtype: np.dtype):
+    """Identity element for a min/max fold accumulator.
+
+    Floats use ±inf — not ``finfo.min``/``finfo.max`` — so genuine
+    infinities in the data survive the fold: ``max`` over ``{-inf}``
+    must be ``-inf`` on every backend, including kernels whose unmasked
+    ``reduceat`` fast path computes the true extremum.  (Found by the
+    conformance fuzzer: the clamped fill diverged from the fused path.)
+    """
+    if acc_dtype.kind == "f":
+        return -np.inf if fn == "max" else np.inf
+    if acc_dtype.kind == "b":   # np.iinfo rejects bool; fold over e.g. a
+        return fn != "max"      # bool group key hit this (fuzzer finding)
+    info = np.iinfo(acc_dtype)
+    return info.min if fn == "max" else info.max
+
+
 def fold_aggregate(
     fn: str,
     control: np.ndarray | None,
@@ -164,12 +181,7 @@ def fold_aggregate(
             per_run = np.zeros(n_runs, dtype=acc_dtype)
             np.add.at(per_run, use_runs, use_vals)
     else:
-        fill = (
-            np.finfo(acc_dtype).min if acc_dtype.kind == "f" else np.iinfo(acc_dtype).min
-        ) if fn == "max" else (
-            np.finfo(acc_dtype).max if acc_dtype.kind == "f" else np.iinfo(acc_dtype).max
-        )
-        per_run = np.full(n_runs, fill, dtype=acc_dtype)
+        per_run = np.full(n_runs, fold_fill(fn, acc_dtype), dtype=acc_dtype)
         ufunc.at(per_run, use_runs, use_vals)
     run_nonempty = np.zeros(n_runs, dtype=bool)
     run_nonempty[use_runs] = True

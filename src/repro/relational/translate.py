@@ -163,6 +163,17 @@ class Translator:
 
     def _global_aggregate(self, plan: ra.GroupBy, rel: V, agg_inputs) -> V:
         """Hierarchical fold (paper Figure 3): chunk partials, then total."""
+        if any(
+            spec.expr is not None and not columns_used(spec.expr)
+            for spec in plan.aggs.values()
+        ):
+            # A column-free aggregate input (e.g. sum(3+2)) is a *dense*
+            # attribute: present on every slot, including the ε padding
+            # earlier Filters left behind, so a direct fold would count
+            # killed rows (conformance-fuzzer finding).  Compact the
+            # relation to its live rows first (keyed aggregation needs no
+            # such step — the group-id scatter drops ε rows already).
+            rel = self._compact_rows(rel)
         chunked = self._with_chunks(rel, grain=plan.grain)
         out_rel: V | None = None
         avgs: list[str] = []
@@ -171,7 +182,9 @@ class Translator:
             if spec.fn == "avg":
                 avgs.append(out_name)
                 for sub, fn in ((f"__sum_{out_name}", "sum"), (f"__cnt_{out_name}", "count")):
-                    sub_spec = ra.AggSpec(fn, spec.expr if fn != "count" else spec.expr)
+                    # count over spec.expr (not count(*)): avg's denominator
+                    # is the number of slots where the expression is present
+                    sub_spec = ra.AggSpec(fn, spec.expr)
                     partial, final_fn = self._partial_fold(sub_spec, chunked, attr, ".__chunk")
                     total = self._final_fold(final_fn, partial, _col(sub))
                     out_rel = total if out_rel is None else self.b.zip(out_rel, total)
@@ -271,6 +284,20 @@ class Translator:
             if not path.root.startswith("__"):
                 return path
         return rel.schema.paths()[0]
+
+    def _compact_rows(self, rel: V) -> V:
+        """Filter-style compaction on row presence (ε padding dropped).
+
+        Anchors on the first visible column — the same row-ness anchor
+        ``count(*)`` uses — whose mask is exactly "this slot survived
+        every upstream Filter/SemiJoin".
+        """
+        live = self.b.is_present(rel, out=".__live", source_kp=self._any_column(rel))
+        chunked = self._with_chunks(self.b.upsert(rel, ".__live", live, ".__live"))
+        positions = self.b.fold_select(
+            chunked, sel_kp=".__live", fold_kp=".__chunk", out=".__pos"
+        )
+        return self.b.gather(rel, positions, pos_kp=".__pos")
 
     def _with_chunks(self, rel: V, grain: int | None = None) -> V:
         """Attach the parallelism control vector (paper's $intent knob)."""

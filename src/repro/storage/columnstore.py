@@ -128,11 +128,18 @@ class ColumnStats:
 
 
 class ColumnStore:
-    """The database: named tables + auxiliary vectors + statistics."""
+    """The database: named tables + auxiliary vectors + statistics.
 
-    def __init__(self) -> None:
+    ``meta`` carries dataset provenance — generator name, RNG seed,
+    scale factor — so every result computed from this store can record
+    how to regenerate its input (the conformance/benchmark harnesses
+    propagate it into their results metadata).
+    """
+
+    def __init__(self, meta: dict | None = None) -> None:
         self._tables: dict[str, Table] = {}
         self._aux: dict[str, StructuredVector] = {}
+        self.meta: dict = dict(meta or {})
 
     # -- tables -----------------------------------------------------------------
 

@@ -24,7 +24,9 @@ def save(store: ColumnStore, directory: str | Path) -> Path:
     """Persist every table of *store* under *directory*."""
     root = Path(directory)
     root.mkdir(parents=True, exist_ok=True)
-    catalog: dict[str, dict] = {"tables": {}}
+    # dataset provenance (generator/seed/scale) must survive persistence,
+    # or results computed from a re-loaded store lose their replay seed
+    catalog: dict[str, dict] = {"meta": dict(store.meta), "tables": {}}
     for table in store.tables():
         entry: dict[str, dict] = {"columns": {}}
         for col in table.columns.values():
@@ -33,7 +35,12 @@ def save(store: ColumnStore, directory: str | Path) -> Path:
             entry["columns"][col.name] = {
                 "file": filename,
                 "dtype": str(col.data.dtype),
-                "dictionary": list(col.dictionary.values()) if col.dictionary else None,
+                # `is not None`, not truthiness: an empty table's string
+                # column has an empty-but-present dictionary, and dropping
+                # it would turn the column numeric on reload
+                "dictionary": (
+                    list(col.dictionary.values()) if col.dictionary is not None else None
+                ),
             }
         catalog["tables"][table.name] = entry
     (root / _CATALOG).write_text(json.dumps(catalog, indent=2))
@@ -47,7 +54,7 @@ def load(directory: str | Path) -> ColumnStore:
     if not catalog_path.exists():
         raise StorageError(f"no catalog at {catalog_path}")
     catalog = json.loads(catalog_path.read_text())
-    store = ColumnStore()
+    store = ColumnStore(meta=catalog.get("meta"))
     for table_name, entry in catalog["tables"].items():
         columns = []
         for col_name, meta in entry["columns"].items():
@@ -58,7 +65,8 @@ def load(directory: str | Path) -> ColumnStore:
                     f"({data.dtype} on disk vs {meta['dtype']} in catalog)"
                 )
             dictionary = (
-                StringDictionary(meta["dictionary"]) if meta["dictionary"] else None
+                StringDictionary(meta["dictionary"])
+                if meta["dictionary"] is not None else None
             )
             columns.append(Column(col_name, data, dictionary))
         store.add(Table(table_name, columns))

@@ -1,0 +1,294 @@
+"""The conformance matrix: every case × every backend configuration.
+
+``run_case`` executes one generated (or replayed) case across the whole
+backend grid — every meaningful ``CompilerOptions`` ×
+``ExecutionOptions`` × workers combination the engine exposes — and
+checks two properties:
+
+* **bit-identity across the grid**: every configuration must produce
+  exactly the result of the reference configuration (same dtypes, same
+  rows, NaN-for-NaN equal);
+* **agreement with the oracle**: the reference result must match the
+  independent NumPy oracle (:mod:`repro.testing.oracle`) — exactly for
+  integers/booleans/strings, within a small tolerance for float
+  aggregates (the oracle's ``np.sum`` associates additions pairwise,
+  the backends sequentially).
+
+Failures are serialized as self-contained JSON case files so they can
+be replayed (and shrunk) with ``python -m repro.testing.replay``.
+
+CLI::
+
+    python -m repro.testing.conformance --cases 200 --seed 0
+
+exits non-zero if any case fails, writing one JSON per failing case.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+import warnings
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.compiler import CompilerOptions, ExecutionOptions
+from repro.relational import VoodooEngine
+from repro.relational.engine import ResultTable
+from repro.testing import oracle as oracle_mod
+from repro.testing.serialize import Case, save_case
+
+
+@dataclass(frozen=True)
+class BackendConfig:
+    """One execution configuration of the engine."""
+
+    name: str
+    options: CompilerOptions = CompilerOptions()
+    workers: int = 1
+    exec_fastpath: bool = True
+    tracing: bool | None = None
+
+    def engine(self, store, grain: int) -> VoodooEngine:
+        execution = None
+        if self.workers > 1 or not self.exec_fastpath:
+            execution = ExecutionOptions(workers=self.workers, fastpath=self.exec_fastpath)
+        return VoodooEngine(
+            store,
+            options=self.options,
+            grain=grain,
+            execution=execution,
+            tracing=self.tracing,
+        )
+
+
+#: the full grid; the first entry is the reference every other entry
+#: must bit-match (it is the seed repo's original simulated backend)
+BACKEND_GRID: tuple[BackendConfig, ...] = (
+    BackendConfig("traced-fused", CompilerOptions(), tracing=True),
+    BackendConfig("traced-op-at-a-time", CompilerOptions(fuse=False), tracing=True),
+    BackendConfig("traced-branch-free", CompilerOptions(selection="branch-free"),
+                  tracing=True),
+    BackendConfig("traced-no-virtual-scatter", CompilerOptions(virtual_scatter=False),
+                  tracing=True),
+    BackendConfig("traced-no-slot-suppression", CompilerOptions(slot_suppression=False),
+                  tracing=True),
+    BackendConfig("fused-fastpath", CompilerOptions(), tracing=False),
+    BackendConfig("untraced-no-fastpath", CompilerOptions(fastpath=False), tracing=False),
+    BackendConfig("parallel-w2-fused", CompilerOptions(), workers=2),
+    BackendConfig("parallel-w2-interp", CompilerOptions(), workers=2,
+                  exec_fastpath=False),
+    BackendConfig("parallel-w4-fused", CompilerOptions(), workers=4),
+)
+
+
+@dataclass
+class CaseFailure:
+    """One conformance violation, with everything needed to replay it."""
+
+    case: Case
+    backend: str
+    kind: str          # "grid" | "oracle" | "error"
+    detail: str
+    path: Path | None = None
+
+    def __str__(self) -> str:
+        where = f" -> {self.path}" if self.path else ""
+        return f"[{self.kind}] {self.case.name} on {self.backend}: {self.detail}{where}"
+
+
+# -- comparisons -------------------------------------------------------------
+
+
+def _describe(arr: np.ndarray, limit: int = 8) -> str:
+    head = ", ".join(repr(v) for v in arr[:limit])
+    more = f", ... ({len(arr)} total)" if len(arr) > limit else ""
+    return f"[{head}{more}]"
+
+
+def compare_bitwise(ref: ResultTable, other: ResultTable) -> str | None:
+    """Exact (NaN-aware) equality; ``None`` when identical."""
+    if ref.columns != other.columns:
+        return f"columns {other.columns} != {ref.columns}"
+    for name in ref.columns:
+        a, b = ref.arrays[name], other.arrays[name]
+        if len(a) != len(b):
+            return f"{name}: {len(b)} rows != {len(a)}"
+        if a.dtype.kind == "O" or b.dtype.kind == "O":
+            if a.tolist() != b.tolist():
+                return f"{name}: decoded values differ: {_describe(b)} != {_describe(a)}"
+            continue
+        if a.dtype != b.dtype:
+            return f"{name}: dtype {b.dtype} != {a.dtype}"
+        if not np.array_equal(a, b, equal_nan=a.dtype.kind == "f"):
+            return f"{name}: values differ: {_describe(b)} != {_describe(a)}"
+    return None
+
+
+def compare_oracle(
+    table: ResultTable,
+    expected: dict[str, np.ndarray],
+    scales: dict[str, np.ndarray] | None = None,
+    rtol: float = 1e-9,
+    atol: float = 1e-9,
+) -> str | None:
+    """Engine vs oracle: exact, except float values within tolerance.
+
+    ``scales`` carries the oracle's per-cell Σ|v| for float sums/avgs:
+    the backends add sequentially and the oracle pairwise, so after
+    cancellation the honest error bound is relative to the summed
+    magnitudes, not to the (possibly ~0) result.
+    """
+    if list(table.columns) != list(expected):
+        return f"columns {table.columns} != {list(expected)}"
+    for name in table.columns:
+        a, b = table.arrays[name], expected[name]   # a = engine, b = oracle
+        if len(a) != len(b):
+            return f"{name}: engine has {len(a)} rows, oracle {len(b)}"
+        if a.dtype.kind == "O" or b.dtype.kind == "O":
+            if a.tolist() != b.tolist():
+                return f"{name}: decoded values differ: {_describe(a)} != {_describe(b)}"
+            continue
+        if a.dtype.kind == "f" or b.dtype.kind == "f":
+            x = a.astype(np.float64)
+            y = b.astype(np.float64)
+            if not np.array_equal(np.isnan(x), np.isnan(y)):
+                return f"{name}: NaN placement differs: {_describe(a)} != {_describe(b)}"
+            inf = np.isinf(x) | np.isinf(y)
+            if not np.array_equal(x[inf], y[inf]):  # placement and sign, exactly
+                return f"{name}: Inf values differ: {_describe(a)} != {_describe(b)}"
+            fin = ~np.isnan(x) & ~inf
+            cell_atol = np.full(len(x), atol)
+            scale = (scales or {}).get(name)
+            if scale is not None and len(scale) == len(x):
+                with np.errstate(invalid="ignore"):
+                    cell_atol = atol + rtol * np.where(np.isfinite(scale), scale, 0.0)
+            ok = np.isclose(x[fin], y[fin], rtol=rtol, atol=0.0) | (
+                np.abs(x[fin] - y[fin]) <= cell_atol[fin]
+            )
+            if not ok.all():
+                return f"{name}: values differ: {_describe(a)} != {_describe(b)}"
+            continue
+        if not np.array_equal(a.astype(np.int64, copy=False),
+                              b.astype(np.int64, copy=False)):
+            return f"{name}: values differ: {_describe(a)} != {_describe(b)}"
+    return None
+
+
+# -- the matrix --------------------------------------------------------------
+
+
+def run_case(
+    case: Case,
+    grid: tuple[BackendConfig, ...] = BACKEND_GRID,
+) -> list[tuple[str, str, str]]:
+    """Run one case over the grid; returns (backend, kind, detail) triples."""
+    problems: list[tuple[str, str, str]] = []
+    reference: ResultTable | None = None
+    reference_name = ""
+    for config in grid:
+        try:
+            with warnings.catch_warnings(), \
+                    config.engine(case.store, case.grain) as engine:
+                # adversarial NaN/Inf/overflow data makes NumPy chatty;
+                # the conformance check is the comparison, not the noise
+                warnings.simplefilter("ignore", RuntimeWarning)
+                table = engine.query(case.query)
+        except Exception as exc:  # noqa: BLE001 - any crash is a finding
+            problems.append((config.name, "error", f"{type(exc).__name__}: {exc}"))
+            continue
+        if reference is None:
+            # the first *succeeding* configuration anchors the bit-identity
+            # comparison (normally grid[0]; later if grid[0] crashed)
+            reference, reference_name = table, config.name
+            continue
+        mismatch = compare_bitwise(reference, table)
+        if mismatch:
+            problems.append((config.name, "grid", mismatch))
+    if reference is not None:
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                expected, scales = oracle_mod.evaluate_with_scales(
+                    case.store, case.query
+                )
+        except Exception as exc:  # noqa: BLE001
+            problems.append(("oracle", "error", f"{type(exc).__name__}: {exc}"))
+        else:
+            mismatch = compare_oracle(reference, expected, scales)
+            if mismatch:
+                problems.append((reference_name, "oracle", mismatch))
+    return problems
+
+
+def run_conformance(
+    cases: int,
+    seed: int = 0,
+    grid: tuple[BackendConfig, ...] = BACKEND_GRID,
+    dump_dir: str | Path | None = "conformance_cases",
+    start: int = 0,
+    progress: bool = False,
+) -> list[CaseFailure]:
+    """Generate and check *cases* cases; returns (and dumps) all failures."""
+    from repro.testing.qgen import generate_case
+
+    failures: list[CaseFailure] = []
+    t0 = time.monotonic()
+    for index in range(start, start + cases):
+        case = generate_case(seed, index)
+        problems = run_case(case, grid)
+        path = None
+        if problems and dump_dir is not None:
+            # one dump per case, its note listing *every* failure
+            case.note = "; ".join(
+                f"{kind} failure on {backend}: {detail}"
+                for backend, kind, detail in problems
+            )
+            path = save_case(case, Path(dump_dir) / f"{case.name}.json")
+        for backend, kind, detail in problems:
+            failures.append(CaseFailure(case, backend, kind, detail, path))
+        if progress and (index + 1 - start) % 25 == 0:
+            rate = (index + 1 - start) / (time.monotonic() - t0)
+            print(f"  {index + 1 - start}/{cases} cases "
+                  f"({rate:.1f}/s, {len(failures)} failures)", flush=True)
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Differential conformance fuzzing across the backend grid."
+    )
+    parser.add_argument("--cases", type=int, default=200,
+                        help="number of generated cases (default 200)")
+    parser.add_argument("--seed", type=int, default=0, help="master RNG seed")
+    parser.add_argument("--start", type=int, default=0,
+                        help="first case index (resume/sharding)")
+    parser.add_argument("--dump-dir", default="conformance_cases",
+                        help="directory for failing-case JSON files")
+    args = parser.parse_args(argv)
+
+    print(f"conformance: {args.cases} cases, seed={args.seed}, "
+          f"{len(BACKEND_GRID)} backend configurations")
+    t0 = time.monotonic()
+    failures = run_conformance(
+        args.cases, seed=args.seed, dump_dir=args.dump_dir,
+        start=args.start, progress=True,
+    )
+    elapsed = time.monotonic() - t0
+    print(f"checked {args.cases} cases x {len(BACKEND_GRID)} backends "
+          f"in {elapsed:.1f}s ({args.cases / max(elapsed, 1e-9):.1f} cases/s)")
+    if failures:
+        for failure in failures:
+            print(f"FAIL {failure}")
+        print(f"{len(failures)} failure(s); replay with: "
+              f"python -m repro.testing.replay <case.json>")
+        return 1
+    print("all configurations bit-identical and oracle-consistent")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,398 @@
+"""Independent NumPy reference oracle for relational queries.
+
+This evaluator shares **no execution code** with the interpreter, the
+compiled backends, or the parallel runtime: it interprets the relational
+plan directly over ``(values, mask)`` column pairs, the way one would
+write the query by hand in NumPy.  It is the third opinion of the
+conformance matrix — if every backend agrees *with each other* but all
+share a bug, the oracle is what catches it.
+
+It deliberately implements the *documented engine contracts* (not the
+engine code) where SQL leaves them open:
+
+* ε propagation: an operation's output slot is ε iff any input slot it
+  read was ε; filters drop rows whose predicate is ε; folds skip ε and
+  produce ε for runs with no contributing slot; a result row is emitted
+  only when **every selected column** is present (mirrors
+  ``VoodooEngine._extract``).
+* total division: ``x / 0 == 0.0`` for floats and ``x // 0 == x`` for
+  integers (the backends' branch-free Divide contract).
+* conditionals are *predication*: ``cond*then + (1-cond)*otherwise``,
+  so NaN/Inf in the untaken branch contaminates the result exactly as
+  it does on a branch-free device.
+* scatter build collisions: later writes win; group-by output rows are
+  ordered by ascending linearized group id.
+
+Float aggregates are compared with a small tolerance by the conformance
+runner (the oracle sums with ``np.sum``'s pairwise order, the backends
+accumulate sequentially); everything else must match exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.relational import algebra as ra
+from repro.relational import expressions as ex
+from repro.storage.columnstore import ColumnStore
+
+
+@dataclass
+class _Rel:
+    """A relation: equal-length value arrays plus per-column ε masks."""
+
+    n: int
+    cols: dict[str, np.ndarray]
+    masks: dict[str, np.ndarray]
+
+    def subset(self, keep: np.ndarray) -> "_Rel":
+        return _Rel(
+            int(keep.sum()) if keep.dtype == bool else len(keep),
+            {name: arr[keep] for name, arr in self.cols.items()},
+            {name: m[keep] for name, m in self.masks.items()},
+        )
+
+    def first_visible_mask(self) -> np.ndarray:
+        """Presence of the first column (the engine's count(*) anchor)."""
+        for name, mask in self.masks.items():
+            return mask
+        return np.zeros(self.n, dtype=bool)
+
+
+def _lit_array(value, n: int) -> np.ndarray:
+    if isinstance(value, bool):
+        return np.full(n, value, dtype=bool)
+    if isinstance(value, (int, np.integer)):
+        return np.full(n, value, dtype=np.int64)
+    return np.full(n, value, dtype=np.float64)
+
+
+def _divide(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """The backends' total division: never traps, zero divisor is inert."""
+    zero = b == 0
+    if a.dtype.kind in "iub" and b.dtype.kind in "iub":
+        with np.errstate(divide="ignore"):
+            return a // np.where(zero, 1, b)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return np.where(zero, 0.0, a / np.where(zero, 1, b))
+
+
+class Oracle:
+    def __init__(self, store: ColumnStore):
+        self.store = store
+        #: per-column magnitude of float sum/avg contributions (Σ|v|),
+        #: aligned with the *group* rows of the final aggregation —
+        #: consumed by the conformance comparison's tolerance
+        self.scales: dict[str, np.ndarray] = {}
+
+    # -- expressions --------------------------------------------------------
+
+    def expr(self, e: ex.Expr, rel: _Rel) -> tuple[np.ndarray, np.ndarray]:
+        n = rel.n
+        if isinstance(e, ex.Col):
+            return rel.cols[e.name], rel.masks[e.name]
+        if isinstance(e, ex.Lit):
+            return _lit_array(e.value, n), np.ones(n, dtype=bool)
+        if isinstance(e, ex.Arith):
+            return self._arith(e, rel)
+        if isinstance(e, ex.Cmp):
+            lv, lm = self.expr(e.left, rel)
+            rv, rm = self.expr(e.right, rel)
+            fn = {"gt": np.greater, "ge": np.greater_equal, "lt": np.less,
+                  "le": np.less_equal, "eq": np.equal, "ne": np.not_equal}[e.op]
+            with np.errstate(invalid="ignore"):
+                return fn(lv, rv), lm & rm
+        if isinstance(e, (ex.And, ex.Or)):
+            lv, lm = self.expr(e.left, rel)
+            rv, rm = self.expr(e.right, rel)
+            if isinstance(e, ex.And):
+                return (lv != 0) & (rv != 0), lm & rm
+            return (lv != 0) | (rv != 0), lm & rm
+        if isinstance(e, ex.Not):
+            v, m = self.expr(e.operand, rel)
+            return ~(v != 0), m
+        if isinstance(e, ex.InSet):
+            v, m = self.expr(e.operand, rel)
+            hit = np.zeros(n, dtype=bool)
+            with np.errstate(invalid="ignore"):
+                for value in e.values:
+                    hit |= v == value
+            return hit, m
+        if isinstance(e, ex.IfThenElse):
+            return self._if_then_else(e, rel)
+        if isinstance(e, ex.Cast):
+            v, m = self.expr(e.operand, rel)
+            return v.astype(np.dtype(e.dtype)), m
+        if isinstance(e, ex.ScalarOf):
+            return self._scalar_of(e, rel)
+        raise NotImplementedError(f"oracle: expression {type(e).__name__}")
+
+    def _arith(self, e: ex.Arith, rel: _Rel) -> tuple[np.ndarray, np.ndarray]:
+        lv, lm = self.expr(e.left, rel)
+        rv, rm = self.expr(e.right, rel)
+        mask = lm & rm
+        with np.errstate(all="ignore"):
+            if e.op == "add":
+                return lv + rv, mask
+            if e.op == "sub":
+                return lv - rv, mask
+            if e.op == "mul":
+                return lv * rv, mask
+            if e.op == "div":  # SQL exact division: ints promote to float
+                if lv.dtype.kind in "iub":
+                    lv = lv.astype(np.float64)
+                return _divide(lv, rv), mask
+            return _divide(lv, rv), mask  # idiv
+    def _if_then_else(self, e: ex.IfThenElse, rel: _Rel):
+        cv, cm = self.expr(e.cond, rel)
+        tv, tm = self.expr(e.then, rel)
+        ev, em = self.expr(e.otherwise, rel)
+        c = cv.astype(np.int64)
+        with np.errstate(all="ignore"):
+            return c * tv + (1 - c) * ev, cm & tm & em
+
+    def _scalar_of(self, e: ex.ScalarOf, rel: _Rel):
+        sub = self.plan(e.plan)
+        if sub.n == 0:
+            value, present = 0, False
+        else:
+            value = sub.cols[e.column][0]
+            present = bool(sub.masks[e.column][0])
+        vals = np.full(rel.n, value if present else 0,
+                       dtype=sub.cols[e.column].dtype if sub.n else np.int64)
+        return vals, np.full(rel.n, present, dtype=bool)
+
+    # -- plans --------------------------------------------------------------
+
+    def plan(self, p: ra.Plan) -> _Rel:
+        if isinstance(p, ra.Scan):
+            table = self.store.table(p.table)
+            cols = {c.name: c.data for c in table.columns.values()}
+            masks = {name: np.ones(table.n_rows, dtype=bool) for name in cols}
+            return _Rel(table.n_rows, cols, masks)
+        if isinstance(p, ra.Filter):
+            rel = self.plan(p.child)
+            v, m = self.expr(p.pred, rel)
+            return rel.subset(m & (v != 0))
+        if isinstance(p, ra.Map):
+            rel = self.plan(p.child)
+            cols, masks = dict(rel.cols), dict(rel.masks)
+            for name, e in p.cols.items():
+                cols[name], masks[name] = self.expr(e, rel)
+            return _Rel(rel.n, cols, masks)
+        if isinstance(p, ra.Join):
+            return self._join(p)
+        if isinstance(p, ra.SemiJoin):
+            return self._semijoin(p)
+        if isinstance(p, ra.GroupBy):
+            return self._groupby(p)
+        raise NotImplementedError(f"oracle: plan {type(p).__name__}")
+
+    def _probe(self, key: ex.Expr, rel: _Rel, offset: int, domain: int):
+        """(in-domain position, valid) for a probe/build key expression."""
+        kv, km = self.expr(key, rel)
+        pos = kv - offset
+        valid = km & (pos >= 0) & (pos < domain)
+        safe = np.where(valid, pos, 0).astype(np.int64)
+        return safe, valid
+
+    def _join(self, p: ra.Join) -> _Rel:
+        rel = self.plan(p.child)
+        build = self.plan(p.build)
+        bpos, bvalid = self._probe(p.dim_key, build, p.offset, p.domain)
+        src = np.flatnonzero(bvalid)
+        dst = bpos[src]                      # duplicate keys: later writes win
+        ppos, pvalid = self._probe(p.fact_key, rel, p.offset, p.domain)
+        cols, masks = dict(rel.cols), dict(rel.masks)
+        for out, dim_col in p.pull.items():
+            table = np.zeros(p.domain, dtype=build.cols[dim_col].dtype)
+            filled = np.zeros(p.domain, dtype=bool)
+            table[dst] = build.cols[dim_col][src]
+            filled[dst] = build.masks[dim_col][src]
+            taken = table[ppos].copy()
+            taken[~pvalid] = 0               # ε slots are zero-filled
+            cols[out] = taken
+            masks[out] = pvalid & filled[ppos]
+        return _Rel(rel.n, cols, masks)
+
+    def _semijoin(self, p: ra.SemiJoin) -> _Rel:
+        rel = self.plan(p.child)
+        build = self.plan(p.build)
+        bpos, bvalid = self._probe(p.dim_key, build, p.offset, p.domain)
+        membership = np.zeros(p.domain, dtype=bool)
+        membership[bpos[bvalid]] = True
+        ppos, pvalid = self._probe(p.fact_key, rel, p.offset, p.domain)
+        exists = pvalid & membership[ppos]
+        return rel.subset(~exists if p.negated else exists)
+
+    # -- aggregation --------------------------------------------------------
+
+    def _agg_input(self, spec: ra.AggSpec, rel: _Rel, star_mask: np.ndarray):
+        if spec.expr is None:                # count(*): every real row counts
+            return np.ones(rel.n, dtype=np.int64), star_mask
+        return self.expr(spec.expr, rel)
+
+    @staticmethod
+    def _fold(fn: str, vals: np.ndarray, mask: np.ndarray):
+        """(value, present, dtype) of one aggregate over selected rows."""
+        picked = vals[mask]
+        present = bool(mask.any())
+        if fn == "count":
+            return np.int64(mask.sum()), present, np.int64
+        if fn == "sum":
+            if vals.dtype.kind == "f":
+                return np.float64(picked.sum()) if present else np.float64(0), \
+                    present, np.float64
+            return (np.int64(picked.astype(np.int64).sum()) if present
+                    else np.int64(0)), present, np.int64
+        if fn in ("min", "max"):
+            reducer = np.min if fn == "min" else np.max
+            value = reducer(picked) if present else vals.dtype.type(0)
+            return value, present, vals.dtype
+        raise NotImplementedError(fn)
+
+    @staticmethod
+    def _sum_scale(vals: np.ndarray, mask: np.ndarray) -> float:
+        """Magnitude of a float sum's contributions (Σ|v| over the rows).
+
+        The backends accumulate sequentially, the oracle pairwise; after
+        catastrophic cancellation the two legitimately differ by an
+        error proportional to this scale, not to the (near-zero) result.
+        The conformance comparison widens its tolerance accordingly.
+        """
+        with np.errstate(all="ignore"):
+            picked = vals[mask]
+            finite = picked[np.isfinite(picked)]
+            return float(np.abs(finite).sum()) if len(finite) else 0.0
+
+    def _agg_columns(self, p: ra.GroupBy, rel: _Rel, groups: list[np.ndarray]):
+        """Per aggregate: (values, mask) over the row groups, filling
+        ``self.scales[name]`` for order-sensitive float sums/avgs."""
+        star = rel.first_visible_mask() if not p.keys else np.ones(rel.n, dtype=bool)
+        out: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        for name, spec in p.aggs.items():
+            vals, vmask = self._agg_input(spec, rel, star)
+            if spec.fn == "avg":
+                cells, masks, scales = [], [], []
+                for rows in groups:
+                    m = vmask[rows]
+                    s, present, _ = self._fold("sum", vals[rows], m)
+                    c = m.sum()
+                    with np.errstate(all="ignore"):
+                        cells.append(np.float64(s) / c if present else 0.0)
+                    masks.append(present)
+                    scales.append(self._sum_scale(vals[rows], m) / max(int(c), 1))
+                out[name] = (np.array(cells, dtype=np.float64),
+                             np.array(masks, dtype=bool))
+                self.scales[name] = np.array(scales, dtype=np.float64)
+                continue
+            cells, masks, dtype = [], [], np.int64
+            for rows in groups:
+                value, present, dtype = self._fold(spec.fn, vals[rows], vmask[rows])
+                cells.append(value)
+                masks.append(present)
+            out[name] = (np.array(cells, dtype=dtype), np.array(masks, dtype=bool))
+            if spec.fn == "sum" and vals.dtype.kind == "f":
+                self.scales[name] = np.array(
+                    [self._sum_scale(vals[rows], vmask[rows]) for rows in groups],
+                    dtype=np.float64,
+                )
+        return out
+
+    def _groupby(self, p: ra.GroupBy) -> _Rel:
+        rel = self.plan(p.child)
+        if not p.keys:
+            groups = [np.arange(rel.n)]
+            out = self._agg_columns(p, rel, groups)
+            cols = {name: vals for name, (vals, _) in out.items()}
+            masks = {name: m for name, (_, m) in out.items()}
+            return _Rel(1 if rel.n else 0,
+                        {k: v[: 1 if rel.n else 0] for k, v in cols.items()},
+                        {k: v[: 1 if rel.n else 0] for k, v in masks.items()})
+
+        key_vals, valid = [], np.ones(rel.n, dtype=bool)
+        for key in p.keys:
+            kv, km = self.expr(key.expr, rel)
+            key_vals.append(kv)
+            valid &= km
+        gid = np.zeros(rel.n, dtype=np.int64)
+        stride = 1
+        for key, kv in zip(reversed(p.keys), reversed(key_vals)):
+            gid += (kv.astype(np.int64) - key.offset) * stride
+            stride *= key.card
+        rows_all = np.flatnonzero(valid)
+        order = np.argsort(gid[rows_all], kind="stable")
+        sorted_rows = rows_all[order]
+        sorted_gids = gid[sorted_rows]
+        unique_gids, starts = np.unique(sorted_gids, return_index=True)
+        bounds = np.append(starts, len(sorted_rows))
+        groups = [sorted_rows[bounds[i]: bounds[i + 1]]
+                  for i in range(len(unique_gids))]
+
+        out = self._agg_columns(p, rel, groups)
+        cols = {name: vals for name, (vals, _) in out.items()}
+        masks = {name: m for name, (_, m) in out.items()}
+
+        carried: dict[str, str] = {}
+        for name in p.carry:
+            carried.setdefault(name, name)
+        for key in p.keys:
+            carried.setdefault(key.name, key.expr.name)  # type: ignore[union-attr]
+        for out_name, src in carried.items():
+            src_vals, src_mask = rel.cols[src], rel.masks[src]
+            cells, present = [], []
+            for rows in groups:
+                m = src_mask[rows]
+                if m.any():
+                    cells.append(np.max(src_vals[rows][m]))
+                    present.append(True)
+                else:
+                    cells.append(src_vals.dtype.type(0))
+                    present.append(False)
+            cols[out_name] = np.array(cells, dtype=src_vals.dtype)
+            masks[out_name] = np.array(present, dtype=bool)
+        return _Rel(len(groups), cols, masks)
+
+    # -- entry point --------------------------------------------------------
+
+    def query(self, query: ra.Query) -> dict[str, np.ndarray]:
+        if query.order_by or query.limit is not None:
+            raise NotImplementedError("oracle: order_by/limit not supported")
+        self.scales = {}
+        rel = self.plan(query.plan)
+        keep = np.ones(rel.n, dtype=bool)
+        for name in query.select:
+            keep &= rel.masks[name]
+        arrays: dict[str, np.ndarray] = {}
+        for name in query.select:
+            arr = rel.cols[name][keep]
+            source = query.decode.get(name)
+            if source is not None:
+                dictionary = self.store.table(source[0]).dictionary(source[1])
+                arr = np.array(dictionary.decode(arr), dtype=object)
+            arrays[name] = arr
+        # keep only scales still aligned with the final relation (a
+        # nested aggregation's scales no longer describe output cells)
+        self.scales = {
+            name: scale[keep]
+            for name, scale in self.scales.items()
+            if name in query.select and len(scale) == rel.n
+        }
+        return arrays
+
+
+def evaluate(store: ColumnStore, query: ra.Query) -> dict[str, np.ndarray]:
+    """Evaluate *query* over *store* with the independent oracle."""
+    return Oracle(store).query(query)
+
+
+def evaluate_with_scales(
+    store: ColumnStore, query: ra.Query
+) -> tuple[dict[str, np.ndarray], dict[str, np.ndarray]]:
+    """Like :func:`evaluate`, also returning per-cell sum magnitudes
+    (Σ|v| of each float sum/avg cell) for tolerance-aware comparison."""
+    oracle = Oracle(store)
+    arrays = oracle.query(query)
+    return arrays, oracle.scales

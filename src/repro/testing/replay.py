@@ -1,0 +1,54 @@
+"""Replay a serialized conformance case: ``python -m repro.testing.replay``.
+
+Loads a self-contained case JSON (written by the conformance runner on
+failure, or committed as a regression under ``repro/testing/cases/``),
+re-executes it across the full backend grid, and reports per-backend
+agreement.  Because the file carries the *data values* — not a
+generator recipe — a case keeps replaying identically even as the
+generators evolve, and can be shrunk by hand: delete rows, columns, or
+plan nodes from the JSON and re-run until the failure is minimal.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.testing.conformance import BACKEND_GRID, run_case
+from repro.testing.serialize import load_case
+
+
+def replay(path: str | Path, verbose: bool = True) -> list[tuple[str, str, str]]:
+    """Run one case file across the grid; returns the problem triples."""
+    case = load_case(path)
+    if verbose:
+        tables = ", ".join(
+            f"{t.name}({t.n_rows}r)" for t in case.store.tables()
+        )
+        print(f"replaying {case.name} (grain={case.grain}; {tables})")
+        if case.note:
+            print(f"  recorded note: {case.note}")
+    problems = run_case(case)
+    if verbose:
+        if problems:
+            for backend, kind, detail in problems:
+                print(f"  FAIL [{kind}] {backend}: {detail}")
+        else:
+            print(f"  ok: {len(BACKEND_GRID)} backend configurations agree "
+                  "(bit-identical, oracle-consistent)")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description="Replay conformance case files.")
+    parser.add_argument("cases", nargs="+", help="case JSON file(s) to replay")
+    args = parser.parse_args(argv)
+    bad = 0
+    for path in args.cases:
+        bad += 1 if replay(path) else 0
+    return 1 if bad else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

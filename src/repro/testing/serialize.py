@@ -1,0 +1,295 @@
+"""Self-contained JSON serialization of conformance cases.
+
+A *case* is everything needed to replay one conformance check: the full
+generated data (value-level, not a generator recipe — replay survives
+generator drift), the relational query, and the control-vector grain.
+The format is deliberately shrink-friendly: a failing case can be
+minimized by hand (or by a tool) by deleting rows, columns, or plan
+nodes from the JSON and re-running ``python -m repro.testing.replay``.
+
+Floats round-trip exactly (``repr`` shortest-form); NaN/±Infinity use
+Python's JSON extension tokens (``NaN``, ``Infinity``), which
+``json.loads`` parses back by default.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.relational import algebra as ra
+from repro.relational import expressions as ex
+from repro.storage import ColumnStore, Table
+
+FORMAT = "repro.testing.case/v1"
+
+#: committed regression cases, replayed by tests/conformance forever;
+#: fresh failures dump to the runner's --dump-dir (./conformance_cases
+#: by default) — promote one here when it earns permanence
+CASES_DIR = Path(__file__).resolve().parent / "cases"
+
+
+@dataclass
+class Case:
+    """One replayable conformance scenario."""
+
+    seed: int
+    index: int
+    grain: int
+    store: ColumnStore
+    query: ra.Query
+    note: str = ""
+
+    @property
+    def name(self) -> str:
+        return f"case_s{self.seed}_i{self.index}"
+
+
+# -- expressions -------------------------------------------------------------
+
+
+def expr_to_json(expr: ex.Expr) -> dict:
+    if isinstance(expr, ex.Col):
+        return {"expr": "Col", "name": expr.name}
+    if isinstance(expr, ex.Lit):
+        return {"expr": "Lit", "value": expr.value}
+    if isinstance(expr, (ex.Arith, ex.Cmp)):
+        return {"expr": type(expr).__name__, "op": expr.op,
+                "left": expr_to_json(expr.left), "right": expr_to_json(expr.right)}
+    if isinstance(expr, (ex.And, ex.Or)):
+        return {"expr": type(expr).__name__,
+                "left": expr_to_json(expr.left), "right": expr_to_json(expr.right)}
+    if isinstance(expr, ex.Not):
+        return {"expr": "Not", "operand": expr_to_json(expr.operand)}
+    if isinstance(expr, ex.InSet):
+        return {"expr": "InSet", "operand": expr_to_json(expr.operand),
+                "values": list(expr.values)}
+    if isinstance(expr, ex.Membership):
+        return {"expr": "Membership", "operand": expr_to_json(expr.operand),
+                "aux_name": expr.aux_name, "offset": expr.offset}
+    if isinstance(expr, ex.IfThenElse):
+        return {"expr": "IfThenElse", "cond": expr_to_json(expr.cond),
+                "then": expr_to_json(expr.then),
+                "otherwise": expr_to_json(expr.otherwise)}
+    if isinstance(expr, ex.Cast):
+        return {"expr": "Cast", "operand": expr_to_json(expr.operand),
+                "dtype": expr.dtype}
+    if isinstance(expr, ex.ScalarOf):
+        return {"expr": "ScalarOf", "plan": plan_to_json(expr.plan),
+                "column": expr.column}
+    raise TypeError(f"cannot serialize expression {type(expr).__name__}")
+
+
+def expr_from_json(data: dict) -> ex.Expr:
+    kind = data["expr"]
+    if kind == "Col":
+        return ex.Col(data["name"])
+    if kind == "Lit":
+        return ex.Lit(data["value"])
+    if kind == "Arith":
+        return ex.Arith(data["op"], expr_from_json(data["left"]),
+                        expr_from_json(data["right"]))
+    if kind == "Cmp":
+        return ex.Cmp(data["op"], expr_from_json(data["left"]),
+                      expr_from_json(data["right"]))
+    if kind == "And":
+        return ex.And(expr_from_json(data["left"]), expr_from_json(data["right"]))
+    if kind == "Or":
+        return ex.Or(expr_from_json(data["left"]), expr_from_json(data["right"]))
+    if kind == "Not":
+        return ex.Not(expr_from_json(data["operand"]))
+    if kind == "InSet":
+        return ex.InSet(expr_from_json(data["operand"]), tuple(data["values"]))
+    if kind == "Membership":
+        return ex.Membership(expr_from_json(data["operand"]), data["aux_name"],
+                             data.get("offset", 0))
+    if kind == "IfThenElse":
+        return ex.IfThenElse(expr_from_json(data["cond"]),
+                             expr_from_json(data["then"]),
+                             expr_from_json(data["otherwise"]))
+    if kind == "Cast":
+        return ex.Cast(expr_from_json(data["operand"]), data["dtype"])
+    if kind == "ScalarOf":
+        return ex.ScalarOf(plan_from_json(data["plan"]), data["column"])
+    raise ValueError(f"unknown expression node {kind!r}")
+
+
+# -- plans -------------------------------------------------------------------
+
+
+def plan_to_json(plan: ra.Plan) -> dict:
+    if isinstance(plan, ra.Scan):
+        return {"plan": "Scan", "table": plan.table}
+    if isinstance(plan, ra.Filter):
+        return {"plan": "Filter", "child": plan_to_json(plan.child),
+                "pred": expr_to_json(plan.pred)}
+    if isinstance(plan, ra.Map):
+        return {"plan": "Map", "child": plan_to_json(plan.child),
+                "cols": {n: expr_to_json(e) for n, e in plan.cols.items()}}
+    if isinstance(plan, ra.Join):
+        return {"plan": "Join", "child": plan_to_json(plan.child),
+                "build": plan_to_json(plan.build),
+                "fact_key": expr_to_json(plan.fact_key),
+                "dim_key": expr_to_json(plan.dim_key),
+                "pull": dict(plan.pull), "domain": plan.domain,
+                "offset": plan.offset}
+    if isinstance(plan, ra.SemiJoin):
+        return {"plan": "SemiJoin", "child": plan_to_json(plan.child),
+                "build": plan_to_json(plan.build),
+                "fact_key": expr_to_json(plan.fact_key),
+                "dim_key": expr_to_json(plan.dim_key),
+                "domain": plan.domain, "offset": plan.offset,
+                "negated": plan.negated}
+    if isinstance(plan, ra.GroupBy):
+        return {
+            "plan": "GroupBy", "child": plan_to_json(plan.child),
+            "keys": [{"name": k.name, "expr": expr_to_json(k.expr),
+                      "card": k.card, "offset": k.offset} for k in plan.keys],
+            "aggs": {n: {"fn": a.fn,
+                         "expr": None if a.expr is None else expr_to_json(a.expr)}
+                     for n, a in plan.aggs.items()},
+            "carry": list(plan.carry), "grain": plan.grain,
+        }
+    raise TypeError(f"cannot serialize plan node {type(plan).__name__}")
+
+
+def plan_from_json(data: dict) -> ra.Plan:
+    kind = data["plan"]
+    if kind == "Scan":
+        return ra.Scan(data["table"])
+    if kind == "Filter":
+        return ra.Filter(plan_from_json(data["child"]), expr_from_json(data["pred"]))
+    if kind == "Map":
+        return ra.Map(plan_from_json(data["child"]),
+                      {n: expr_from_json(e) for n, e in data["cols"].items()})
+    if kind == "Join":
+        return ra.Join(plan_from_json(data["child"]), plan_from_json(data["build"]),
+                       expr_from_json(data["fact_key"]), expr_from_json(data["dim_key"]),
+                       dict(data["pull"]), domain=data["domain"],
+                       offset=data.get("offset", 0))
+    if kind == "SemiJoin":
+        return ra.SemiJoin(plan_from_json(data["child"]), plan_from_json(data["build"]),
+                           expr_from_json(data["fact_key"]),
+                           expr_from_json(data["dim_key"]),
+                           domain=data["domain"], offset=data.get("offset", 0),
+                           negated=data.get("negated", False))
+    if kind == "GroupBy":
+        return ra.GroupBy(
+            plan_from_json(data["child"]),
+            keys=[ra.KeySpec(k["name"], expr_from_json(k["expr"]),
+                             card=k["card"], offset=k.get("offset", 0))
+                  for k in data["keys"]],
+            aggs={n: ra.AggSpec(a["fn"],
+                                None if a["expr"] is None else expr_from_json(a["expr"]))
+                  for n, a in data["aggs"].items()},
+            carry=list(data.get("carry", [])),
+            grain=data.get("grain", 4096),
+        )
+    raise ValueError(f"unknown plan node {kind!r}")
+
+
+def query_to_json(query: ra.Query) -> dict:
+    return {
+        "plan": plan_to_json(query.plan),
+        "select": list(query.select),
+        "order_by": [[name, bool(desc)] for name, desc in query.order_by],
+        "limit": query.limit,
+        "decode": {name: list(src) for name, src in query.decode.items()},
+    }
+
+
+def query_from_json(data: dict) -> ra.Query:
+    return ra.Query(
+        plan=plan_from_json(data["plan"]),
+        select=list(data["select"]),
+        order_by=[(name, bool(desc)) for name, desc in data.get("order_by", [])],
+        limit=data.get("limit"),
+        decode={name: tuple(src) for name, src in data.get("decode", {}).items()},
+    )
+
+
+# -- data --------------------------------------------------------------------
+
+
+def store_to_json(store: ColumnStore) -> dict:
+    tables: dict[str, dict] = {}
+    for table in store.tables():
+        columns: dict[str, dict] = {}
+        for col in table.columns.values():
+            if col.dictionary is not None:
+                columns[col.name] = {"dtype": "str",
+                                     "values": col.dictionary.decode(col.data)}
+            elif col.data.dtype.kind == "b":
+                columns[col.name] = {"dtype": "bool",
+                                     "values": [bool(v) for v in col.data]}
+            elif col.data.dtype.kind in "iu":
+                columns[col.name] = {"dtype": str(col.data.dtype),
+                                     "values": [int(v) for v in col.data]}
+            else:
+                columns[col.name] = {"dtype": str(col.data.dtype),
+                                     "values": [float(v) for v in col.data]}
+        tables[table.name] = {"columns": columns}
+    return tables
+
+
+def store_from_json(tables: dict) -> ColumnStore:
+    store = ColumnStore()
+    for name, entry in tables.items():
+        arrays: dict[str, np.ndarray] = {}
+        for col_name, meta in entry["columns"].items():
+            dtype = meta["dtype"]
+            if dtype == "str":
+                arrays[col_name] = np.array(meta["values"], dtype=object)
+            else:
+                arrays[col_name] = np.array(meta["values"], dtype=np.dtype(dtype))
+        store.add(Table.from_arrays(name, **arrays))
+    return store
+
+
+# -- cases -------------------------------------------------------------------
+
+
+def case_to_json(case: Case) -> dict:
+    return {
+        "format": FORMAT,
+        "seed": case.seed,
+        "index": case.index,
+        "grain": case.grain,
+        "note": case.note,
+        "meta": dict(getattr(case.store, "meta", {}) or {}),
+        "tables": store_to_json(case.store),
+        "query": query_to_json(case.query),
+    }
+
+
+def case_from_json(data: dict) -> Case:
+    if data.get("format") != FORMAT:
+        raise StorageError(f"not a conformance case file (format={data.get('format')!r})")
+    store = store_from_json(data["tables"])
+    store.meta = dict(data.get("meta", {}))
+    return Case(
+        seed=int(data.get("seed", 0)),
+        index=int(data.get("index", 0)),
+        grain=int(data.get("grain", 4096)),
+        store=store,
+        query=query_from_json(data["query"]),
+        note=data.get("note", ""),
+    )
+
+
+def save_case(case: Case, path: str | Path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(case_to_json(case), indent=1) + "\n")
+    return path
+
+
+def load_case(path: str | Path) -> Case:
+    path = Path(path)
+    if not path.exists():
+        raise StorageError(f"no case file at {path}")
+    return case_from_json(json.loads(path.read_text()))

@@ -21,9 +21,19 @@ def _pick(rng: np.random.Generator, values: list[str], n: int) -> np.ndarray:
 
 
 def generate(scale_factor: float = 0.01, seed: int = 42) -> ColumnStore:
-    """Generate all eight tables at *scale_factor* into a ColumnStore."""
+    """Generate all eight tables at *scale_factor* into a ColumnStore.
+
+    The store records its own provenance (generator, seed, scale) in
+    ``store.meta`` so every benchmark/conformance result derived from it
+    can name the exact dataset it measured — regenerate with the same
+    seed to replay.
+    """
     rng = np.random.default_rng(seed)
-    store = ColumnStore()
+    store = ColumnStore(meta={
+        "generator": "repro.tpch.datagen",
+        "seed": int(seed),
+        "scale_factor": float(scale_factor),
+    })
 
     n_supp = max(10, int(sp.BASE_CARDINALITIES["supplier"] * scale_factor))
     n_cust = max(30, int(sp.BASE_CARDINALITIES["customer"] * scale_factor))

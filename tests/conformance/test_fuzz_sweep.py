@@ -1,0 +1,28 @@
+"""The deep conformance sweep: thousands of cases across the full grid.
+
+Marked ``slow``: CI's smoke step runs 200 cases through the CLI; this
+sweep is the nightly/local deep soak.  Any failure dumps a replayable
+JSON case under the pytest tmp dir and prints its path.
+"""
+
+import pytest
+
+from repro.testing import run_conformance
+
+#: enough volume that every generator profile combination appears many
+#: times (empty tables, NaN/Inf folds, duplicate build keys, ...)
+SWEEP_CASES = 2000
+
+
+@pytest.mark.slow
+def test_full_fuzz_sweep(tmp_path):
+    failures = run_conformance(SWEEP_CASES, seed=0, dump_dir=tmp_path,
+                               progress=True)
+    assert failures == [], "\n".join(str(f) for f in failures)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", (1, 2, 3))
+def test_fuzz_sweep_other_seeds(tmp_path, seed):
+    failures = run_conformance(400, seed=seed, dump_dir=tmp_path)
+    assert failures == [], "\n".join(str(f) for f in failures)
