@@ -11,6 +11,7 @@ from repro.hardware import CostModel, available_devices, get_device
 from repro.interpreter import Interpreter
 from repro.relational import Query, VoodooEngine, parse_sql
 from repro.storage import ColumnStore, Table
+from repro.tuner import AutoTuner, TuningCache
 
 __version__ = "1.0.0"
 
@@ -19,5 +20,5 @@ __all__ = [
     "Builder", "Keypath", "Program", "Schema", "StructuredVector", "kp",
     "CostModel", "available_devices", "get_device",
     "Interpreter", "Query", "VoodooEngine", "parse_sql",
-    "ColumnStore", "Table", "__version__",
+    "ColumnStore", "Table", "AutoTuner", "TuningCache", "__version__",
 ]

@@ -86,11 +86,23 @@ class ExecutionOptions:
     each other.  It only takes effect when the compiler-side
     ``CompilerOptions.fastpath``/``fuse`` flags are on too; results stay
     bit-identical either way.
+
+    ``parallel_grain`` is the chunk-granularity knob of the
+    partition-parallel backend: target *rows per chunk* when slicing the
+    driving vector (rounded to the control-run alignment, so no run is
+    ever split).  ``None`` (the default) keeps the PR 1 policy of one
+    chunk per worker; a finer grain produces more chunks than workers
+    for load balancing — or, on a single effective core where chunks
+    execute inline, exercises exactly the chunked code path (offset
+    ``Range``, rebased ``FoldSelect``) at the requested granularity.
+    Results are bit-identical at every grain: the planner only chunks
+    exactly-associative merges.
     """
 
     workers: int = 1
     pool: str = "thread"
     fastpath: bool = True
+    parallel_grain: int | None = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -98,6 +110,10 @@ class ExecutionOptions:
         if self.pool not in POOL_KINDS:
             raise CompilationError(
                 f"pool must be one of {POOL_KINDS}, got {self.pool!r}"
+            )
+        if self.parallel_grain is not None and self.parallel_grain < 1:
+            raise CompilationError(
+                f"parallel_grain must be >= 1 or None, got {self.parallel_grain}"
             )
 
     def with_(self, **changes) -> "ExecutionOptions":

@@ -198,6 +198,13 @@ class ParallelInterpreter:
         wall-clock runtime (default).  ``False`` evaluates chunks on the
         materializing reference interpreter instead.  Outputs are
         bit-identical either way.
+    grain:
+        Target rows per chunk (``ExecutionOptions.parallel_grain``).
+        ``None`` (default) slices one chunk per worker.  The grain is
+        honored regardless of how many cores actually execute the
+        chunks: on a single effective core the chunks run inline, at
+        exactly the same boundaries, with ``Range`` starts and
+        ``FoldSelect`` positions rebased identically.
 
     The underlying worker pool is persistent: created on first parallel
     ``run()``, reused by every later one.  ``close()`` (or ``with``)
@@ -211,6 +218,7 @@ class ParallelInterpreter:
         workers: int | None = None,
         pool: str = "thread",
         fastpath: bool = True,
+        grain: int | None = None,
     ):
         if pool not in POOL_KINDS:
             raise ExecutionError(f"pool must be one of {POOL_KINDS}, got {pool!r}")
@@ -218,8 +226,11 @@ class ParallelInterpreter:
         self.workers = (os.cpu_count() or 1) if workers is None else int(workers)
         if self.workers < 1:
             raise ExecutionError(f"workers must be >= 1, got {self.workers}")
+        if grain is not None and grain < 1:
+            raise ExecutionError(f"grain must be >= 1 or None, got {grain}")
         self.pool = pool
         self.fastpath = fastpath
+        self.grain = grain
         #: hardware threads actually available; with one core the chunked
         #: zones still execute chunk-by-chunk (same plans, same offsets,
         #: same merges — the correctness path stays exercised) but inline,
@@ -330,10 +341,13 @@ class ParallelInterpreter:
             )
             for name, vec in self._storage.items()
         ))
+        shape = (self.grain, shape)  # a grain change re-plans the chunking
         cached = self._plan_cache.get(id(program))
         if cached is not None and cached[0] is program and cached[1] == shape:
             return cached[2]
-        plan = PartitionPlanner(program, self._storage, self.workers).plan()
+        plan = PartitionPlanner(
+            program, self._storage, self.workers, grain=self.grain
+        ).plan()
         if len(self._plan_cache) >= 64:
             self._plan_cache.pop(next(iter(self._plan_cache)))
         self._plan_cache[id(program)] = (program, shape, plan)

@@ -97,19 +97,28 @@ class PartitionPlan:
         return counts
 
 
-def chunk_ranges(n: int, workers: int, align: int = 1) -> list[tuple[int, int]]:
-    """Split ``[0, n)`` into up to *workers* contiguous ranges.
+def chunk_ranges(
+    n: int, workers: int, align: int = 1, grain: int | None = None
+) -> list[tuple[int, int]]:
+    """Split ``[0, n)`` into contiguous ranges.
 
     Every boundary except the final ``n`` is a multiple of *align*, so no
-    aligned control run is split.  Chunks are as even as alignment allows;
-    fewer than *workers* chunks come back when ``n`` is small (never an
-    empty chunk).
+    aligned control run is split.  Without *grain* there are up to
+    *workers* chunks, as even as alignment allows; with *grain* (the
+    ``ExecutionOptions.parallel_grain`` knob) chunks target *grain* rows
+    each — possibly many more chunks than workers — with the grain
+    rounded down to a whole number of alignment units (never below one).
+    Fewer chunks come back when ``n`` is small (never an empty chunk).
     """
     if n <= 0 or workers <= 1:
         return [(0, n)] if n > 0 else []
     align = max(1, align)
     units = math.ceil(n / align)  # number of indivisible runs
-    parts = min(workers, units)
+    if grain is not None:
+        units_per_chunk = max(1, int(grain) // align)
+        parts = math.ceil(units / units_per_chunk)
+    else:
+        parts = min(workers, units)
     base, extra = divmod(units, parts)
     ranges: list[tuple[int, int]] = []
     start = 0
@@ -127,10 +136,11 @@ def chunk_ranges(n: int, workers: int, align: int = 1) -> list[tuple[int, int]]:
 class PartitionPlanner:
     """Builds a :class:`PartitionPlan` for a program over a storage context."""
 
-    def __init__(self, program: Program, storage, workers: int):
+    def __init__(self, program: Program, storage, workers: int, grain: int | None = None):
         self.program = program
         self.storage = dict(storage)
         self.workers = max(1, int(workers))
+        self.grain = None if grain is None else max(1, int(grain))
         self.order = list(program.order)
         self.index = {id(node): i for i, node in enumerate(self.order)}
         self.metadata = MetadataPass(program)
@@ -167,7 +177,7 @@ class PartitionPlanner:
             for i, z in enumerate(zones)
         ):
             return self._sequential("no partitionable operators", plan)
-        plan.chunks = chunk_ranges(extent, self.workers, align)
+        plan.chunks = chunk_ranges(extent, self.workers, align, self.grain)
         if len(plan.chunks) <= 1:
             return self._sequential("driving vector too small to split", plan)
         plan.frontier = self._frontier(zones)

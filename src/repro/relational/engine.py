@@ -125,6 +125,20 @@ class VoodooEngine:
     workers, pool kind).  A repeated query skips translate + optimize +
     codegen entirely; changing the schema or any knob invalidates the
     entry.
+
+    ``tuning="auto"`` hands the knobs to the adaptive auto-tuner
+    (:mod:`repro.tuner`): per query, the engine asks the tuner for the
+    best ``CompilerOptions`` × ``ExecutionOptions`` on *this* machine
+    and executes through a per-configuration delegate engine.  The
+    tuner's decision is part of the tuned plan-cache **entry** — the key
+    is only (query structure, store fingerprint, hardware), never the
+    chosen options, which would be circular; compiled artifacts live in
+    the winning delegate's ordinary plan cache.  Decisions are memoized
+    in a :class:`~repro.tuner.TuningCache` (persistent when
+    ``tuning_cache`` is a path), so a warm engine performs zero measured
+    trials.  ``explain_tuning(query)`` reports the evidence.  Results
+    are bit-identical to ``tuning="off"``: every config in the search
+    space preserves semantics, only latency changes.
     """
 
     def __init__(
@@ -136,6 +150,9 @@ class VoodooEngine:
         execution: ExecutionOptions | None = None,
         tracing: bool | None = None,
         plan_cache: bool = True,
+        tuning: str = "off",
+        tuner=None,
+        tuning_cache=None,
     ):
         self.store = store
         self.options = options or CompilerOptions()
@@ -147,9 +164,11 @@ class VoodooEngine:
         if execution is None and parallelism is not None:
             execution = ExecutionOptions(workers=parallelism)
         self.execution = execution
+        if tuning not in ("off", "auto"):
+            raise ExecutionError(f'tuning must be "off" or "auto", got {tuning!r}')
         parallel = execution is not None and execution.workers > 1
         if tracing is None:
-            tracing = not parallel
+            tracing = not parallel and tuning == "off"
         elif tracing and parallel:
             raise ExecutionError(
                 "tracing=True is incompatible with workers > 1: the "
@@ -165,6 +184,25 @@ class VoodooEngine:
         self.plan_cache_misses = 0
         self.program_cache_hits = 0
         self.program_cache_misses = 0
+        if tuning == "auto" and tracing:
+            raise ExecutionError(
+                "tuning=\"auto\" picks untraced serving configurations; "
+                "use a tuning=\"off\" engine for simulation/tracing."
+            )
+        if tuning == "auto" and execution is not None:
+            raise ExecutionError(
+                "tuning=\"auto\" chooses ExecutionOptions itself; drop the "
+                "execution=/parallelism= argument (or pin the knobs with "
+                "tuning=\"off\")."
+            )
+        self.tuning = tuning
+        self._tuner = tuner
+        self._tuning_cache_arg = tuning_cache
+        #: tuned plan-cache: key = (query structure, store, hardware);
+        #: the *entry* carries the tuner's decision (config), never the key
+        self._tuned_decisions: dict = {}
+        #: per-configuration delegate engines (each with its own plan cache)
+        self._delegates: dict = {}
 
     def vectors(self):
         """The Load context; rebuilt per call so late-registered auxiliary
@@ -194,7 +232,7 @@ class VoodooEngine:
         a parallel engine never touches the plan cache and vice versa.
         """
         size = len(self._plan_cache) if self._plan_cache is not None else 0
-        return {
+        info = {
             "plan_hits": self.plan_cache_hits,
             "plan_misses": self.plan_cache_misses,
             "program_hits": self.program_cache_hits,
@@ -202,13 +240,17 @@ class VoodooEngine:
             "size": size,
             "programs": len(self._program_cache),
         }
+        if self.tuning == "auto" and self._tuner is not None:
+            info.update(self._tuner.cache.info())
+            info["tuned_decisions"] = len(self._tuned_decisions)
+        return info
 
     def clear_plan_cache(self) -> None:
         if self._plan_cache is not None:
             self._plan_cache.clear()
         self._program_cache.clear()
 
-    # -- execution -----------------------------------------------------------
+    # -- compilation ---------------------------------------------------------
 
     def translate(self, query: Query):
         return Translator(self.store, grain=self.grain).translate_query(query)
@@ -237,7 +279,62 @@ class VoodooEngine:
         self._plan_cache[key] = compiled
         return compiled
 
+    # -- auto-tuning ---------------------------------------------------------
+
+    def _ensure_tuner(self):
+        if self._tuner is None:
+            from repro.tuner import AutoTuner
+
+            self._tuner = AutoTuner(
+                self.store,
+                cache=self._tuning_cache_arg,
+                device=self.options.device,
+            )
+        return self._tuner
+
+    def _tuned_config(self, query: Query):
+        """The tuner's decision for *query*, memoized as the *entry* of
+        the tuned plan cache (the key never names the chosen options)."""
+        tuner = self._ensure_tuner()
+        key = tuner.key_for(query, self.grain)
+        decision = self._tuned_decisions.get(key.token())
+        if decision is None:
+            decision = tuner.tune(query, grain=self.grain)
+            self._evict(self._tuned_decisions)
+            self._tuned_decisions[key.token()] = decision
+        return decision
+
+    def _delegate(self, config) -> "VoodooEngine":
+        """The engine executing one tuned configuration (persistent: its
+        plan cache and worker pool are reused across queries)."""
+        delegate = self._delegates.get(config)
+        if delegate is None:
+            delegate = VoodooEngine(
+                self.store,
+                options=config.options,
+                grain=self.grain,
+                execution=config.execution,
+                tracing=False,
+                plan_cache=self._plan_cache is not None,
+            )
+            self._delegates[config] = delegate
+        return delegate
+
+    def explain_tuning(self, query: Query):
+        """The tuning evidence for *query*: candidates considered,
+        predicted vs measured times, and the chosen configuration
+        (a :class:`repro.tuner.TuningReport`; tunes on first call)."""
+        if self.tuning != "auto":
+            raise ExecutionError(
+                'explain_tuning requires VoodooEngine(tuning="auto")'
+            )
+        return self._ensure_tuner().explain(query, grain=self.grain)
+
+    # -- execution -----------------------------------------------------------
+
     def execute(self, query: Query) -> QueryResult:
+        if self.tuning == "auto":
+            return self._delegate(self._tuned_config(query)).execute(query)
         if self.execution is not None and self.execution.workers > 1:
             return self._execute_parallel(query)
         compiled = self.compile(query)
@@ -281,6 +378,7 @@ class VoodooEngine:
                 workers=self.execution.workers,
                 pool=self.execution.pool,
                 fastpath=fastpath,
+                grain=self.execution.parallel_grain or self.options.parallel_grain,
             )
         backend = self._parallel_backend
         backend.reset_storage(self.vectors())
@@ -304,6 +402,9 @@ class VoodooEngine:
         if self._parallel_backend is not None:
             self._parallel_backend.close()
             self._parallel_backend = None
+        for delegate in self._delegates.values():
+            delegate.close()
+        self._delegates.clear()
 
     def __enter__(self) -> "VoodooEngine":
         return self

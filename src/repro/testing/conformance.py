@@ -7,7 +7,9 @@ checks two properties:
 
 * **bit-identity across the grid**: every configuration must produce
   exactly the result of the reference configuration (same dtypes, same
-  rows, NaN-for-NaN equal);
+  rows, NaN-for-NaN equal) — including the ``tuned`` entry, whose knobs
+  the adaptive auto-tuner (:mod:`repro.tuner`) picks per case, so
+  whatever configuration tuning lands on is fuzzed too;
 * **agreement with the oracle**: the reference result must match the
   independent NumPy oracle (:mod:`repro.testing.oracle`) — exactly for
   integers/booleans/strings, within a small tolerance for float
@@ -51,8 +53,21 @@ class BackendConfig:
     workers: int = 1
     exec_fastpath: bool = True
     tracing: bool | None = None
+    #: run through the adaptive auto-tuner (``tuning="auto"``): whatever
+    #: configuration the tuner picks for this case must still bit-match
+    #: the reference — tuning may never change results
+    tuned: bool = False
 
     def engine(self, store, grain: int) -> VoodooEngine:
+        if self.tuned:
+            from repro.tuner import AutoTuner, compact_space
+
+            # compact space + single-lap refiner: per-case tuning cost
+            # stays bounded while every knob family remains reachable
+            tuner = AutoTuner(
+                store, space=compact_space(), shortlist=2, repeats=1
+            )
+            return VoodooEngine(store, grain=grain, tuning="auto", tuner=tuner)
         execution = None
         if self.workers > 1 or not self.exec_fastpath:
             execution = ExecutionOptions(workers=self.workers, fastpath=self.exec_fastpath)
@@ -82,6 +97,7 @@ BACKEND_GRID: tuple[BackendConfig, ...] = (
     BackendConfig("parallel-w2-interp", CompilerOptions(), workers=2,
                   exec_fastpath=False),
     BackendConfig("parallel-w4-fused", CompilerOptions(), workers=4),
+    BackendConfig("tuned", tuned=True),
 )
 
 
@@ -190,6 +206,7 @@ def run_case(
     reference: ResultTable | None = None
     reference_name = ""
     for config in grid:
+        chosen = ""
         try:
             with warnings.catch_warnings(), \
                     config.engine(case.store, case.grain) as engine:
@@ -197,8 +214,16 @@ def run_case(
                 # the conformance check is the comparison, not the noise
                 warnings.simplefilter("ignore", RuntimeWarning)
                 table = engine.query(case.query)
+                if config.tuned:
+                    # the tuner's pick is wall-clock-dependent: record it,
+                    # or a dumped failure would not say which knobs failed
+                    chosen = " [tuner chose: " + engine.explain_tuning(
+                        case.query
+                    ).chosen.describe() + "]"
         except Exception as exc:  # noqa: BLE001 - any crash is a finding
-            problems.append((config.name, "error", f"{type(exc).__name__}: {exc}"))
+            problems.append(
+                (config.name, "error", f"{type(exc).__name__}: {exc}{chosen}")
+            )
             continue
         if reference is None:
             # the first *succeeding* configuration anchors the bit-identity
@@ -207,7 +232,7 @@ def run_case(
             continue
         mismatch = compare_bitwise(reference, table)
         if mismatch:
-            problems.append((config.name, "grid", mismatch))
+            problems.append((config.name, "grid", mismatch + chosen))
     if reference is not None:
         try:
             with warnings.catch_warnings():

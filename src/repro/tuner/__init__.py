@@ -1,0 +1,32 @@
+"""Adaptive knob auto-tuner: the paper's tuning space, searched per
+query, per machine (section 5.3, automated).
+
+Two-stage search — a cost-model pruner over :mod:`repro.hardware.cost`
+followed by a measured refiner with early-exit racing on a sampled
+store — memoized in a persistent :class:`TuningCache` keyed on query ×
+store × hardware.  Wired into the engine as
+``VoodooEngine(store, tuning="auto")``; inspect decisions with
+``engine.explain_tuning(query)`` or ``python -m repro.tuner`` (smoke
+CLI: tune three TPC-H queries, prove the warm cache re-answers with
+zero measured trials).
+"""
+
+from repro.tuner.cache import TuningCache, TuningEntry, TuningKey, hardware_signature
+from repro.tuner.sample import sample_store
+from repro.tuner.space import TunedConfig, compact_space, default_config, knob_space
+from repro.tuner.tuner import AutoTuner, CandidateOutcome, TuningReport
+
+__all__ = [
+    "AutoTuner",
+    "CandidateOutcome",
+    "TunedConfig",
+    "TuningCache",
+    "TuningEntry",
+    "TuningKey",
+    "TuningReport",
+    "compact_space",
+    "default_config",
+    "hardware_signature",
+    "knob_space",
+    "sample_store",
+]

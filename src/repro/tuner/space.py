@@ -1,0 +1,173 @@
+"""The knob space: every configuration the auto-tuner may choose.
+
+The paper's section 5.3 sweeps these by hand; this module enumerates
+them.  A :class:`TunedConfig` bundles the code-generation knobs
+(:class:`~repro.compiler.options.CompilerOptions`) with the runtime
+knobs (:class:`~repro.compiler.options.ExecutionOptions`); by design
+every config in the space is *bit-identical* to the reference backend —
+tuning changes wall-clock, never results (the conformance grid's
+``tuned`` entry fuzzes exactly this).
+
+Knobs and their paper anchors:
+
+===================  ===============  ==================================
+knob                 paper section    search range
+===================  ===============  ==================================
+``selection``        4 / 5.3 (F.15)   ``branching`` | ``branch-free``
+``fuse``             3.1 / 5.2        on | off (operator-at-a-time)
+``fastpath``         (this repro)     fused wall-clock kernels on | off
+``virtual_scatter``  3.1.3            on | off
+``slot_suppression`` 3.1.2            on | off
+``workers``          2.2 / 5.3        1, 2, 4, ``cpu_count``
+``pool``             (this repro)     ``thread`` | ``process``
+``parallel_grain``   2.2 / 4 (F.4)    None (one chunk/worker) + sweep
+===================  ===============  ==================================
+
+Note what is *not* here: the translator's control-vector ``grain``.
+Re-translating at a different grain changes the association order of
+float partial sums — a different (equally valid) result, which would
+break the tuner's bit-identity contract.  The swept grain is the
+partition-parallel ``parallel_grain``, whose chunking the planner only
+applies to exactly-associative merges.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.compiler.options import CompilerOptions, ExecutionOptions
+
+
+@dataclass(frozen=True)
+class TunedConfig:
+    """One point of the knob space (hashable: usable as a cache key)."""
+
+    options: CompilerOptions
+    execution: ExecutionOptions
+
+    @property
+    def workers(self) -> int:
+        return self.execution.workers
+
+    def describe(self) -> str:
+        """Compact human-readable label (for reports and bench JSON)."""
+        parts = [self.options.selection]
+        parts.append("fused" if self.options.fuse else "op-at-a-time")
+        if self.options.fuse and not self.options.fastpath:
+            parts.append("no-fastpath")
+        if not self.options.virtual_scatter:
+            parts.append("no-virtual-scatter")
+        if not self.options.slot_suppression:
+            parts.append("no-slot-suppression")
+        if self.execution.workers > 1:
+            parts.append(f"w{self.execution.workers}-{self.execution.pool}")
+            if self.execution.parallel_grain is not None:
+                parts.append(f"grain{self.execution.parallel_grain}")
+        return "+".join(parts)
+
+    def to_json(self) -> dict:
+        return {
+            "options": {
+                "device": self.options.device,
+                "selection": self.options.selection,
+                "virtual_scatter": self.options.virtual_scatter,
+                "slot_suppression": self.options.slot_suppression,
+                "fuse": self.options.fuse,
+                "fastpath": self.options.fastpath,
+                "parallel_grain": self.options.parallel_grain,
+            },
+            "execution": {
+                "workers": self.execution.workers,
+                "pool": self.execution.pool,
+                "fastpath": self.execution.fastpath,
+                "parallel_grain": self.execution.parallel_grain,
+            },
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "TunedConfig":
+        return cls(
+            options=CompilerOptions(**data["options"]),
+            execution=ExecutionOptions(**data["execution"]),
+        )
+
+
+def default_config(device: str = "cpu-mt") -> TunedConfig:
+    """The static configuration an untuned engine runs: the baseline
+    every tuning decision is raced against."""
+    return TunedConfig(CompilerOptions(device=device), ExecutionOptions())
+
+
+#: parallel_grain sweep for the widest worker candidate (rows per chunk)
+GRAIN_SWEEP = (4096, 32768)
+
+#: worker-pool widths considered besides 1 (cpu_count is added per machine)
+WORKER_SWEEP = (2, 4)
+
+
+def knob_space(
+    device: str = "cpu-mt",
+    cpu_count: int | None = None,
+    grains: tuple[int, ...] = GRAIN_SWEEP,
+) -> list[TunedConfig]:
+    """The full candidate list for one machine.
+
+    Ordered so that ties in predicted/measured time resolve toward the
+    least surprising configuration: the static default comes first.
+    """
+    cpu_count = cpu_count or os.cpu_count() or 1
+    seq = ExecutionOptions()
+    candidates = [default_config(device)]
+    # selection strategy x fusion (the section 5.3 sweep)
+    candidates += [
+        TunedConfig(CompilerOptions(device=device, selection="branch-free"), seq),
+        TunedConfig(CompilerOptions(device=device, fuse=False), seq),
+        TunedConfig(
+            CompilerOptions(device=device, selection="branch-free", fuse=False), seq
+        ),
+    ]
+    # fused wall-clock kernels off (simulating runtime without the trace)
+    candidates.append(TunedConfig(CompilerOptions(device=device, fastpath=False), seq))
+    # materialization ablations (sections 3.1.2 / 3.1.3)
+    candidates += [
+        TunedConfig(CompilerOptions(device=device, virtual_scatter=False), seq),
+        TunedConfig(CompilerOptions(device=device, slot_suppression=False), seq),
+    ]
+    # multicore: workers x pool kind, plus a parallel_grain sweep at the
+    # widest width (grain only changes chunking when workers > 1)
+    widths = sorted({w for w in (*WORKER_SWEEP, cpu_count) if w > 1})
+    base = CompilerOptions(device=device)
+    for workers in widths:
+        for pool in ("thread", "process"):
+            candidates.append(
+                TunedConfig(base, ExecutionOptions(workers=workers, pool=pool))
+            )
+    if widths:
+        widest = max(widths)
+        for grain in grains:
+            candidates.append(
+                TunedConfig(
+                    base,
+                    ExecutionOptions(workers=widest, parallel_grain=grain),
+                )
+            )
+    return candidates
+
+
+def compact_space(device: str = "cpu-mt") -> list[TunedConfig]:
+    """A reduced space for high-volume callers (the conformance fuzzer):
+    one representative per knob family, no process pools (spawning one
+    per fuzz case would dominate the run)."""
+    seq = ExecutionOptions()
+    return [
+        default_config(device),
+        TunedConfig(CompilerOptions(device=device, selection="branch-free"), seq),
+        TunedConfig(CompilerOptions(device=device, fuse=False), seq),
+        TunedConfig(CompilerOptions(device=device, virtual_scatter=False), seq),
+        TunedConfig(CompilerOptions(device=device), ExecutionOptions(workers=2)),
+        TunedConfig(
+            CompilerOptions(device=device),
+            ExecutionOptions(workers=2, parallel_grain=64),
+        ),
+    ]

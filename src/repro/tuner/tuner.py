@@ -1,0 +1,361 @@
+"""The adaptive knob auto-tuner (the paper's section 5.3, automated).
+
+Given a relational query and a :class:`~repro.storage.ColumnStore`, the
+tuner picks the fastest point of the knob space *for this query on this
+machine* in two stages:
+
+1. **Cost-model pruner** — every candidate is scored with the existing
+   :mod:`repro.hardware.cost` simulated-seconds model: one traced run
+   per distinct code-generation variant on a sampled slice of the store,
+   priced per candidate with the worker count capped at the machine's
+   real core budget, plus explicit pool-overhead priors the simulator
+   cannot see.  This cuts the grid to a shortlist without a single
+   wall-clock trial.
+2. **Measured refiner** — the shortlist (always including the static
+   default, which the winner must beat) races on the sampled store in
+   real wall-clock, with early exit: a candidate whose first lap is
+   hopelessly behind the leader forfeits its remaining repeats.
+
+The winner is memoized in a :class:`~repro.tuner.cache.TuningCache`
+keyed on query × store × hardware, so a warm cache answers with **zero**
+measured trials — and persists across restarts when given a path.
+
+Every configuration in the space is bit-identical to the reference
+backend by construction (the conformance grid's ``tuned`` entry fuzzes
+this), so tuning can never change a query's result, only its latency.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.compiler.options import ExecutionOptions
+from repro.errors import VoodooError
+from repro.relational.algebra import Query
+from repro.storage.columnstore import ColumnStore
+from repro.tuner.cache import (
+    TuningCache,
+    TuningEntry,
+    TuningKey,
+    digest,
+    hardware_signature,
+)
+from repro.tuner.sample import sample_store
+from repro.tuner.space import TunedConfig, default_config, knob_space
+
+#: pool-overhead priors (seconds) the trace-based cost model cannot see:
+#: spinning the pool up and handing one chunk over.  Deliberately rough —
+#: their only job is to keep hopeless parallel candidates (process pools
+#: on tiny inputs, oversubscribed workers) out of the measured shortlist.
+#: They only apply when the pool is actually exercised: with a single
+#: effective core the backend executes chunks *inline* (no pool, no
+#: pickling), leaving just a per-chunk dispatch cost.
+_POOL_STARTUP = {"thread": 2e-3, "process": 0.15}
+_CHUNK_OVERHEAD = {"thread": 2e-4, "process": 2e-3}
+_INLINE_CHUNK_OVERHEAD = 5e-5
+
+
+@dataclass
+class CandidateOutcome:
+    """One candidate's journey through the two stages."""
+
+    config: TunedConfig
+    predicted_seconds: float | None = None
+    measured_seconds: float | None = None
+    trials: int = 0
+    chosen: bool = False
+
+    def row(self) -> str:
+        predicted = (
+            "        -" if self.predicted_seconds is None
+            else f"{self.predicted_seconds * 1e3:8.3f}ms"
+        )
+        measured = (
+            "        -" if self.measured_seconds is None
+            else f"{self.measured_seconds * 1e3:8.3f}ms"
+        )
+        mark = " <- chosen" if self.chosen else ""
+        return f"{self.config.describe():>42} | {predicted} | {measured}{mark}"
+
+
+@dataclass
+class TuningReport:
+    """Everything ``engine.explain_tuning`` shows: candidates considered,
+    predicted vs measured times, and the chosen configuration."""
+
+    key: TuningKey
+    hardware: dict
+    chosen: TunedConfig
+    cache_hit: bool
+    sample_rows: int
+    candidates: list[CandidateOutcome] = field(default_factory=list)
+    tuning_seconds: float = 0.0
+    measured_trials: int = 0
+
+    def render(self) -> str:
+        lines = [
+            f"tuning {self.key.token()}  "
+            f"(hardware {self.hardware}, sample {self.sample_rows} rows)"
+        ]
+        if self.cache_hit:
+            lines.append(
+                f"  cache HIT -> {self.chosen.describe()} "
+                f"(0 measured trials this run)"
+            )
+            return "\n".join(lines)
+        header = f"{'candidate':>42} | {'predicted':>10} | {'measured':>10}"
+        lines += [header, "-" * len(header)]
+        lines += [f"  {outcome.row()}" for outcome in self.candidates]
+        lines.append(
+            f"  -> {self.chosen.describe()} after {self.measured_trials} measured "
+            f"trial(s) in {self.tuning_seconds * 1e3:.1f} ms"
+        )
+        return "\n".join(lines)
+
+
+class AutoTuner:
+    """Searches the knob space per query, per machine, with memoization.
+
+    Parameters
+    ----------
+    store:
+        The full dataset queries will run against.
+    cache:
+        A :class:`TuningCache`, a path for a persistent one, or ``None``
+        for a process-local cache.
+    device:
+        Device profile the cost-model pruner prices traces on.
+    space:
+        Candidate list; defaults to :func:`repro.tuner.space.knob_space`
+        for this machine.  The first entry is treated as the baseline:
+        it is always measured, and wins ties (see keep_default_margin).
+    sample_rows:
+        Row cap for the measurement sample (prefix slice per table).
+    shortlist:
+        How many cost-model survivors get wall-clock trials (the static
+        default is always raced in addition).
+    repeats:
+        Timed laps per measured candidate (best-of).
+    race_factor:
+        Early exit: a candidate whose first lap exceeds the best time so
+        far by this factor forfeits its remaining laps.
+    keep_default_margin:
+        The winner must beat the static default by more than this
+        relative margin, otherwise the default is kept — ties go to the
+        least surprising configuration, and sample-scale flukes are not
+        allowed to adopt configs that could regress at full scale.
+    cpu_count:
+        Real core budget (tests override it to simulate other machines).
+    """
+
+    def __init__(
+        self,
+        store: ColumnStore,
+        cache: TuningCache | str | None = None,
+        device: str = "cpu-mt",
+        space: list[TunedConfig] | None = None,
+        sample_rows: int = 65536,
+        shortlist: int = 3,
+        repeats: int = 3,
+        race_factor: float = 2.0,
+        keep_default_margin: float = 0.10,
+        cpu_count: int | None = None,
+    ):
+        self.store = store
+        self.cache = cache if isinstance(cache, TuningCache) else TuningCache(path=cache)
+        self.device = device
+        self.hardware = hardware_signature(device, cpu_count)
+        self.space = space if space is not None else knob_space(
+            device, self.hardware["cpu_count"]
+        )
+        if not self.space:
+            raise VoodooError("tuner needs a non-empty candidate space")
+        self.sample_rows = sample_rows
+        self.shortlist = max(1, shortlist)
+        self.repeats = max(1, repeats)
+        self.race_factor = race_factor
+        self.keep_default_margin = keep_default_margin
+        #: timed wall-clock laps executed so far (0 on a warm cache)
+        self.measured_trials = 0
+        self._sample: ColumnStore | None = None
+        self._reports: dict[str, TuningReport] = {}
+
+    # -- identity ----------------------------------------------------------
+
+    def key_for(self, query: Query, grain: int | None = None) -> TuningKey:
+        from repro.relational.engine import structural_fingerprint
+
+        return TuningKey(
+            query=digest((structural_fingerprint(query), grain)),
+            store=digest(self.store.fingerprint()),
+            hardware=digest(tuple(sorted(self.hardware.items()))),
+        )
+
+    @property
+    def sample(self) -> ColumnStore:
+        if self._sample is None:
+            self._sample = sample_store(self.store, self.sample_rows)
+        return self._sample
+
+    # -- the two stages ----------------------------------------------------
+
+    def _predict(self, query: Query, grain: int | None) -> list[CandidateOutcome]:
+        """Stage 1: score every candidate with the simulated cost model.
+
+        One traced run per distinct code-generation variant (selection ×
+        fuse × scatter/slot flags) on the sample; each candidate prices
+        that trace with its worker count capped at the machine's real
+        cores, plus the pool-overhead priors.
+        """
+        from repro.relational.engine import VoodooEngine
+
+        outcomes = [CandidateOutcome(config) for config in self.space]
+        compiled_by_variant: dict = {}
+        traces: dict = {}
+        sample_extent = max((len(t) for t in self.sample.tables()), default=0)
+        for outcome in outcomes:
+            options = outcome.config.options
+            # fastpath only affects untraced dispatch; drop it so variants
+            # differing only there share one compile + traced run
+            variant = options.with_(fastpath=False)
+            if variant not in compiled_by_variant:
+                engine = VoodooEngine(
+                    self.sample, options=variant, grain=grain, tracing=True
+                )
+                compiled = engine.compile(query)
+                _, trace = compiled.run(engine.vectors())
+                compiled_by_variant[variant] = compiled
+                traces[variant] = trace
+            compiled = compiled_by_variant[variant]
+            effective = max(
+                1, min(outcome.config.workers, self.hardware["cpu_count"])
+            )
+            seconds = compiled.price(
+                traces[variant], execution=ExecutionOptions(workers=effective)
+            ).seconds
+            execution = outcome.config.execution
+            if execution.workers > 1:
+                chunk = execution.parallel_grain or max(
+                    1, sample_extent // execution.workers
+                )
+                chunks = max(1, -(-sample_extent // chunk))
+                if effective > 1:
+                    seconds += _POOL_STARTUP[execution.pool]
+                    seconds += chunks * _CHUNK_OVERHEAD[execution.pool]
+                else:
+                    # chunks execute inline: no pool is ever constructed
+                    seconds += chunks * _INLINE_CHUNK_OVERHEAD
+            outcome.predicted_seconds = seconds
+        return outcomes
+
+    def _measure(
+        self, query: Query, grain: int | None, outcomes: list[CandidateOutcome]
+    ) -> None:
+        """Stage 2: race the shortlist on the sample in real wall-clock."""
+        from repro.relational.engine import VoodooEngine
+
+        ranked = sorted(
+            range(len(outcomes)), key=lambda i: outcomes[i].predicted_seconds
+        )
+        picks = [0] + [i for i in ranked if i != 0][: self.shortlist]
+        # diversity probe: the best-predicted parallel candidate is always
+        # raced — chunked execution has locality effects (and, inline on a
+        # single core, near-zero overhead) the trace model cannot see
+        parallel = [i for i in ranked if outcomes[i].config.workers > 1]
+        if parallel and parallel[0] not in picks:
+            picks.append(parallel[0])
+        best = float("inf")
+        for index in picks:
+            outcome = outcomes[index]
+            config = outcome.config
+            with VoodooEngine(
+                self.sample,
+                options=config.options,
+                grain=grain,
+                execution=config.execution,
+                tracing=False,
+            ) as engine:
+                engine.execute(query)  # warmup: compile, pools, plan cache
+                elapsed = float("inf")
+                for lap in range(self.repeats):
+                    start = time.perf_counter()
+                    engine.execute(query)
+                    elapsed = min(elapsed, time.perf_counter() - start)
+                    outcome.trials += 1
+                    self.measured_trials += 1
+                    if lap == 0 and index != 0 and elapsed > best * self.race_factor:
+                        break  # hopelessly behind: forfeit remaining laps
+            outcome.measured_seconds = elapsed
+            best = min(best, elapsed)
+
+    def _choose(self, outcomes: list[CandidateOutcome]) -> CandidateOutcome:
+        measured = [o for o in outcomes if o.measured_seconds is not None]
+        winner = min(measured, key=lambda o: o.measured_seconds)
+        default = outcomes[0]
+        if (
+            default.measured_seconds is not None
+            and default.measured_seconds
+            <= winner.measured_seconds * (1 + self.keep_default_margin)
+        ):
+            winner = default  # ties go to the static default
+        winner.chosen = True
+        return winner
+
+    # -- entry points ------------------------------------------------------
+
+    def tune(self, query: Query, grain: int | None = None) -> TunedConfig:
+        """The decision: cached when warm, two-stage search when cold."""
+        return self.explain(query, grain).chosen
+
+    def explain(self, query: Query, grain: int | None = None) -> TuningReport:
+        """Tune (or recall) and report the full evidence trail."""
+        key = self.key_for(query, grain)
+        report = self._reports.get(key.token())
+        if report is not None:
+            return report
+        entry = self.cache.get(key)
+        sample_rows = max((len(t) for t in self.sample.tables()), default=0)
+        if entry is not None:
+            report = TuningReport(
+                key=key,
+                hardware=self.hardware,
+                chosen=entry.config,
+                cache_hit=True,
+                sample_rows=sample_rows,
+            )
+            self._reports[key.token()] = report
+            return report
+        start = time.perf_counter()
+        trials_before = self.measured_trials
+        outcomes = self._predict(query, grain)
+        self._measure(query, grain, outcomes)
+        winner = self._choose(outcomes)
+        report = TuningReport(
+            key=key,
+            hardware=self.hardware,
+            chosen=winner.config,
+            cache_hit=False,
+            sample_rows=sample_rows,
+            candidates=outcomes,
+            tuning_seconds=time.perf_counter() - start,
+            measured_trials=self.measured_trials - trials_before,
+        )
+        self._reports[key.token()] = report
+        self.cache.put(TuningEntry(
+            key=key,
+            config=winner.config,
+            predicted_ms=(
+                None if winner.predicted_seconds is None
+                else winner.predicted_seconds * 1e3
+            ),
+            measured_ms=(
+                None if winner.measured_seconds is None
+                else winner.measured_seconds * 1e3
+            ),
+            trials=winner.trials,
+        ))
+        return report
+
+    def default(self) -> TunedConfig:
+        return default_config(self.device)

@@ -1,0 +1,142 @@
+"""The tuning cache: counters, invalidation, and persistence.
+
+The cache key is query × store × hardware; each axis must invalidate
+independently, hits/misses must count faithfully (the warm-cache
+zero-trials guarantee is built on them), and a persisted cache must
+round-trip bit-exactly through JSON.
+"""
+
+import json
+
+import pytest
+
+from repro.compiler import CompilerOptions, ExecutionOptions
+from repro.storage import ColumnStore, Table
+from repro.tuner import (
+    TunedConfig,
+    TuningCache,
+    TuningEntry,
+    TuningKey,
+    hardware_signature,
+)
+from repro.tuner.cache import digest
+
+
+def _key(query="q", store="s", hardware="h") -> TuningKey:
+    return TuningKey(query=query, store=store, hardware=hardware)
+
+
+def _config(**options) -> TunedConfig:
+    return TunedConfig(CompilerOptions(**options), ExecutionOptions())
+
+
+class TestCounters:
+    def test_miss_then_hit(self):
+        cache = TuningCache()
+        assert cache.get(_key()) is None
+        assert (cache.hits, cache.misses) == (0, 1)
+        cache.put(TuningEntry(key=_key(), config=_config()))
+        assert cache.get(_key()) is not None
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_info_shape(self):
+        cache = TuningCache()
+        cache.put(TuningEntry(key=_key(), config=_config()))
+        info = cache.info()
+        assert info["tuning_entries"] == 1
+        assert info["tuning_path"] is None
+
+
+class TestInvalidation:
+    def test_store_fingerprint_change_misses(self):
+        cache = TuningCache()
+        cache.put(TuningEntry(key=_key(store="s1"), config=_config()))
+        assert cache.get(_key(store="s2")) is None
+        assert cache.get(_key(store="s1")) is not None
+
+    def test_hardware_signature_change_misses(self):
+        cache = TuningCache()
+        cache.put(TuningEntry(key=_key(hardware="laptop"), config=_config()))
+        assert cache.get(_key(hardware="server")) is None
+
+    def test_query_change_misses(self):
+        cache = TuningCache()
+        cache.put(TuningEntry(key=_key(query="q1"), config=_config()))
+        assert cache.get(_key(query="q2")) is None
+
+    def test_real_store_fingerprints_differ(self):
+        a = ColumnStore()
+        a.add(Table.from_arrays("t", x=[1, 2, 3]))
+        b = ColumnStore()
+        b.add(Table.from_arrays("t", x=[1, 2, 3, 4]))
+        assert digest(a.fingerprint()) != digest(b.fingerprint())
+
+    def test_hardware_signature_content(self):
+        sig = hardware_signature("gpu", cpu_count=16)
+        assert sig == {"cpu_count": 16, "device": "gpu"}
+        assert hardware_signature("gpu", 16) != hardware_signature("gpu", 8)
+        assert hardware_signature("gpu", 16) != hardware_signature("cpu-mt", 16)
+
+
+class TestPersistence:
+    def _entry(self) -> TuningEntry:
+        config = TunedConfig(
+            CompilerOptions(selection="branch-free", virtual_scatter=False),
+            ExecutionOptions(workers=4, pool="process", parallel_grain=4096),
+        )
+        return TuningEntry(
+            key=_key(), config=config, predicted_ms=1.25, measured_ms=0.75, trials=3
+        )
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "tuning.json"
+        cache = TuningCache(path=path)
+        cache.put(self._entry())
+        assert path.exists()
+
+        reloaded = TuningCache(path=path)
+        entry = reloaded.get(_key())
+        assert entry is not None
+        assert entry.config == self._entry().config  # dataclass equality: exact
+        assert entry.predicted_ms == 1.25
+        assert entry.measured_ms == 0.75
+        assert entry.trials == 3
+        assert reloaded.hits == 1
+
+    def test_memory_only_cache_never_touches_disk(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        cache = TuningCache()
+        cache.put(self._entry())
+        assert list(tmp_path.iterdir()) == []
+        with pytest.raises(ValueError, match="no path"):
+            cache.save()
+
+    def test_corrupt_file_treated_as_empty(self, tmp_path):
+        path = tmp_path / "tuning.json"
+        path.write_text("{ not json")
+        cache = TuningCache(path=path)
+        assert cache.entries == {}
+
+    def test_invalid_knob_values_treated_as_empty(self, tmp_path):
+        """A persisted entry whose knobs the options dataclasses reject
+        (hand-edited, or written by a different version) must degrade to
+        re-tune, not crash engine construction."""
+        path = tmp_path / "tuning.json"
+        cache = TuningCache(path=path)
+        cache.put(self._entry())
+        text = path.read_text().replace('"branch-free"', '"bogus-strategy"')
+        path.write_text(text)
+        assert TuningCache(path=path).entries == {}
+
+    def test_version_mismatch_treated_as_empty(self, tmp_path):
+        path = tmp_path / "tuning.json"
+        path.write_text(json.dumps({"version": 999, "entries": [{"bad": 1}]}))
+        assert TuningCache(path=path).entries == {}
+
+    def test_save_is_valid_versioned_json(self, tmp_path):
+        path = tmp_path / "tuning.json"
+        TuningCache(path=path).put(self._entry())
+        document = json.loads(path.read_text())
+        assert document["version"] == 1
+        assert len(document["entries"]) == 1
+        assert document["entries"][0]["config"]["execution"]["workers"] == 4
