@@ -2,12 +2,13 @@
 
 from repro.bench import tpch_compare
 from repro.compiler import CompilerOptions
-from repro.relational import VoodooEngine
+from repro.relational import EngineConfig, VoodooEngine
 from repro.tpch import build
 
 
 def test_figure12_gpu_comparison(benchmark, tpch_store, capsys):
-    engine = VoodooEngine(tpch_store, CompilerOptions(device="gpu"))
+    engine = VoodooEngine(tpch_store, config=EngineConfig(
+        options=CompilerOptions(device="gpu")))
     query = build(tpch_store, 6)
     benchmark.pedantic(lambda: engine.execute(query), rounds=3, iterations=1)
 

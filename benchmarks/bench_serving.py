@@ -1,0 +1,30 @@
+"""Serving-layer throughput: closed-loop clients against the HTTP server.
+
+Not a paper figure — this benchmarks the concurrent query-serving layer
+built on top of the reproduced engine: sustained qps and tail latency
+for parameterized prepared statements on a warm plan cache, plus the
+zero-compile steady-state claim.
+"""
+
+import pytest
+
+from repro.bench import serving_load
+
+
+@pytest.mark.parametrize("clients", [1, 4])
+def test_serving_closed_loop(benchmark, clients, capsys):
+    report = benchmark.pedantic(
+        lambda: serving_load.run(
+            rows=50_000, clients=clients, duration=1.0, warmup=0.5,
+            tpch_scale=0.005,
+        ),
+        rounds=1, iterations=1,
+    )
+    load = report["load"]
+    with capsys.disabled():
+        print()
+        print(f"{clients} client(s): {load['qps']} qps, "
+              f"p50 {load['latency_ms']['p50']}ms, "
+              f"p99 {load['latency_ms']['p99']}ms, "
+              f"{load['steady_state_compiles']} steady-state compiles")
+    assert not serving_load.check(report)

@@ -1,6 +1,6 @@
 """Auto-tuning demo (the paper's section 5.3, without the hand).
 
-One engine, one extra argument: ``VoodooEngine(store, tuning="auto")``.
+One engine, one extra argument: ``VoodooEngine(store, config=EngineConfig(tuning="auto"))``.
 Per query, the tuner searches the knob space the paper sweeps by hand —
 selection strategy, fusion, materialization flags, worker count, pool
 kind, chunk grain — with a cost-model pruner followed by measured
@@ -12,7 +12,7 @@ Run:  python examples/auto_tuning.py
 
 import time
 
-from repro.relational import VoodooEngine
+from repro.relational import EngineConfig, VoodooEngine
 from repro.tpch import build, generate
 
 QUERIES = (1, 6, 19)
@@ -24,7 +24,7 @@ def main():
     print("=" * 72)
     print("COLD: first execution tunes (search cost paid once, memoized)")
     print("=" * 72)
-    with VoodooEngine(store, tuning="auto") as engine:
+    with VoodooEngine(store, config=EngineConfig(tuning="auto")) as engine:
         for number in QUERIES:
             start = time.perf_counter()
             engine.query(build(store, number))

@@ -12,7 +12,7 @@ import sys
 
 from repro.baselines import HyperEngine, OcelotEngine
 from repro.compiler import CompilerOptions
-from repro.relational import VoodooEngine, parse_sql
+from repro.relational import EngineConfig, VoodooEngine, parse_sql
 from repro.tpch import build, generate
 
 
@@ -22,7 +22,8 @@ def main(scale_factor: float = 0.01):
     for table in store.tables():
         print(f"  {table.name:10s} {table.n_rows:>9,} rows")
 
-    engine = VoodooEngine(store, CompilerOptions(device="cpu-mt"))
+    engine = VoodooEngine(store, config=EngineConfig(
+        options=CompilerOptions(device="cpu-mt")))
 
     print("\n=== Q1 (pricing summary) through the relational frontend ===")
     result = engine.execute(build(store, 1))
@@ -54,7 +55,8 @@ def main(scale_factor: float = 0.01):
         print(f"  {'Q' + str(number):>6} | {v:8.3f} | {h:8.3f} | {o:8.3f}")
 
     print("\n=== the same queries on the GPU profile (Figure 12 style) ===")
-    gpu_engine = VoodooEngine(store, CompilerOptions(device="gpu"))
+    gpu_engine = VoodooEngine(store, config=EngineConfig(
+        options=CompilerOptions(device="gpu")))
     gpu_ocelot = OcelotEngine(store, device="gpu")
     print(f"  {'query':>6} | {'Voodoo':>8} | {'Ocelot':>8}")
     for number in (1, 6, 19):

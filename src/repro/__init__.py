@@ -9,7 +9,7 @@ from repro.compiler import CompiledProgram, CompilerOptions, compile_program
 from repro.core import Builder, Keypath, Program, Schema, StructuredVector, kp
 from repro.hardware import CostModel, available_devices, get_device
 from repro.interpreter import Interpreter
-from repro.relational import Query, VoodooEngine, parse_sql
+from repro.relational import EngineConfig, Param, PreparedQuery, Query, VoodooEngine, parse_sql
 from repro.storage import ColumnStore, Table
 from repro.tuner import AutoTuner, TuningCache
 
@@ -20,5 +20,6 @@ __all__ = [
     "Builder", "Keypath", "Program", "Schema", "StructuredVector", "kp",
     "CostModel", "available_devices", "get_device",
     "Interpreter", "Query", "VoodooEngine", "parse_sql",
+    "EngineConfig", "Param", "PreparedQuery",
     "ColumnStore", "Table", "AutoTuner", "TuningCache", "__version__",
 ]

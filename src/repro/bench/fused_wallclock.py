@@ -47,6 +47,7 @@ from repro.core import Builder, Schema
 from repro.core.vector import StructuredVector
 from repro.interpreter import Interpreter
 from repro.parallel import ParallelInterpreter
+from repro.relational.config import EngineConfig
 from repro.relational.engine import VoodooEngine
 from repro.tpch import build, generate
 
@@ -250,7 +251,7 @@ def run_multicore(
         "groupby": _time_multicore(groupby_micro(n), groupby_store(n), repeats),
     }
     store = generate(scale, seed=seed)
-    engine = VoodooEngine(store, CompilerOptions())
+    engine = VoodooEngine(store)
     tpch: dict[str, dict] = {}
     for number in queries:
         program = engine.translate(build(store, number))
@@ -330,7 +331,7 @@ def render_multicore(results: dict) -> str:
 
 
 def run_tpch(store, queries, repeats: int = 3) -> dict:
-    engine = VoodooEngine(store, CompilerOptions())
+    engine = VoodooEngine(store)
     results: dict[str, dict] = {}
     for number in queries:
         query = build(store, number)
@@ -341,7 +342,7 @@ def run_tpch(store, queries, repeats: int = 3) -> dict:
 
 def run_plan_cache(store, query_number: int = 19) -> dict:
     """Cold vs warm engine latency: what the plan cache saves per query."""
-    engine = VoodooEngine(store, CompilerOptions(), tracing=False)
+    engine = VoodooEngine(store, config=EngineConfig(tracing=False))
     query = build(store, query_number)
     start = time.perf_counter()
     engine.execute(query)

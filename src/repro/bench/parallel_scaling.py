@@ -52,11 +52,12 @@ TPCH_SEED = 42
 
 
 def _tpch_compiled(number: int, scale: float, device: str):
-    from repro.relational import VoodooEngine
+    from repro.relational import EngineConfig, VoodooEngine
     from repro.tpch import build, generate
 
     store = generate(scale, seed=TPCH_SEED)
-    engine = VoodooEngine(store, CompilerOptions(device=device))
+    engine = VoodooEngine(store, config=EngineConfig(
+        options=CompilerOptions(device=device)))
     compiled = engine.compile(build(store, number))
     return compiled, store.vectors(), store
 

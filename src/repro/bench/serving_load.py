@@ -1,0 +1,330 @@
+"""Closed-loop load generation against the serving layer.
+
+Two experiments, both against an in-process :class:`VoodooServer` over
+real HTTP sockets:
+
+* **Load** — N closed-loop clients (each opens a session, prepares one
+  parameterized statement, then issues requests back-to-back) drive the
+  server for a warmup window followed by a measured window.  Reported:
+  sustained qps, latency percentiles, scheduler counters, and the plan
+  cache's miss counter across the measured window — the *zero-compile
+  proof*: with every parameter value already seen during warmup, the
+  steady state must not compile anything.
+* **Identity** — every TPC-H query (the paper's 14-query CPU set) runs
+  once through the serving stack's prepared-query path and once on a
+  fresh single-caller engine over the same store; results must be
+  bit-identical (same dtype, same bytes).
+
+``python -m repro.bench.serving_load --check`` asserts the acceptance
+conditions (qps > 0, zero errors, zero steady-state compiles, identity
+on all queries) and writes ``BENCH_serving.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench.tuned_wallclock import micro_store
+from repro.relational import EngineConfig, VoodooEngine
+from repro.serving import Catalog, ServingConfig, VoodooServer
+
+#: parameter values the clients rotate through; fixed so every bound
+#: shape is compiled during warmup and the measured window is all hits
+THETAS = (0.05, 0.1, 0.2, 0.4)
+
+STATEMENT_SQL = "SELECT SUM(v2) AS total FROM facts WHERE v1 <= :theta"
+
+
+# -- tiny HTTP client (keep-alive; one connection per closed-loop client) --
+
+
+class _Client:
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+        self.reader: asyncio.StreamReader | None = None
+        self.writer: asyncio.StreamWriter | None = None
+
+    async def connect(self) -> None:
+        self.reader, self.writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+
+    async def request(self, method: str, path: str, payload=None):
+        body = b"" if payload is None else json.dumps(payload).encode()
+        head = (
+            f"{method} {path} HTTP/1.1\r\nHost: bench\r\n"
+            f"Content-Length: {len(body)}\r\n\r\n"
+        ).encode()
+        self.writer.write(head + body)
+        await self.writer.drain()
+        status = int((await self.reader.readline()).split()[1])
+        length = 0
+        while True:
+            line = await self.reader.readline()
+            if line in (b"\r\n", b""):
+                break
+            name, _, value = line.decode().partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value)
+        data = await self.reader.readexactly(length)
+        return status, json.loads(data)
+
+    async def close(self) -> None:
+        if self.writer is not None:
+            self.writer.close()
+            try:
+                await self.writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+
+# -- experiment 1: closed-loop load ---------------------------------------
+
+
+async def _closed_loop(
+    client_id: int,
+    host: str,
+    port: int,
+    stop: float,
+    record_after: float,
+    latencies: list,
+    errors: list,
+) -> int:
+    """One client's loop; returns requests issued in the measured window."""
+    client = _Client(host, port)
+    await client.connect()
+    try:
+        status, session = await client.request(
+            "POST", "/session", {"dataset": "micro"}
+        )
+        status, prepared = await client.request(
+            "POST", "/prepare",
+            {"session": session["session"], "sql": STATEMENT_SQL},
+        )
+        statement = prepared["statement"]
+        measured = 0
+        i = client_id  # offset so clients don't march in phase
+        while True:
+            now = time.perf_counter()
+            if now >= stop:
+                break
+            theta = THETAS[i % len(THETAS)]
+            i += 1
+            start = time.perf_counter()
+            status, result = await client.request(
+                "POST", "/execute",
+                {
+                    "session": session["session"],
+                    "statement": statement,
+                    "params": {"theta": theta},
+                },
+            )
+            elapsed = time.perf_counter() - start
+            if start >= record_after:
+                if status == 200:
+                    latencies.append(elapsed * 1000.0)
+                    measured += 1
+                else:
+                    errors.append(result)
+        return measured
+    finally:
+        await client.close()
+
+
+def _percentile(sorted_ms: list, q: float) -> float:
+    if not sorted_ms:
+        return 0.0
+    index = min(len(sorted_ms) - 1, int(round(q * (len(sorted_ms) - 1))))
+    return sorted_ms[index]
+
+
+async def run_load(
+    rows: int = 100_000,
+    clients: int = 4,
+    duration: float = 5.0,
+    warmup: float = 1.5,
+    workers: int = 4,
+    max_inflight: int = 64,
+) -> dict:
+    """Drive an in-process server with closed-loop HTTP clients."""
+    catalog = Catalog()
+    catalog.add("micro", micro_store(rows))
+    server = VoodooServer(
+        catalog=catalog,
+        serving=ServingConfig(workers=workers, max_inflight=max_inflight),
+    )
+    listener = await server.start("127.0.0.1", 0)
+    host, port = listener.sockets[0].getsockname()
+    try:
+        start = time.perf_counter()
+        record_after = start + warmup
+        stop = record_after + duration
+
+        async def misses() -> int:
+            info = server.catalog.cache_info().get("micro", {})
+            return info.get("plan_misses", 0) + info.get("program_misses", 0)
+
+        # sample the compile counter right when the measured window opens
+        async def snapshot_at_warmup() -> int:
+            await asyncio.sleep(max(0.0, record_after - time.perf_counter()))
+            return await misses()
+
+        latencies: list = []
+        errors: list = []
+        counted, misses_at_warmup = await asyncio.gather(
+            asyncio.gather(*(
+                _closed_loop(i, host, port, stop, record_after,
+                             latencies, errors)
+                for i in range(clients)
+            )),
+            snapshot_at_warmup(),
+        )
+        misses_at_end = await misses()
+        latencies.sort()
+        total = sum(counted)
+        return {
+            "clients": clients,
+            "rows": rows,
+            "workers": workers,
+            "duration_s": duration,
+            "warmup_s": warmup,
+            "requests": total,
+            "qps": round(total / duration, 2),
+            "latency_ms": {
+                "p50": round(_percentile(latencies, 0.50), 3),
+                "p95": round(_percentile(latencies, 0.95), 3),
+                "p99": round(_percentile(latencies, 0.99), 3),
+                "max": round(latencies[-1], 3) if latencies else 0.0,
+            },
+            "errors": len(errors),
+            "steady_state_compiles": misses_at_end - misses_at_warmup,
+            "cache_info": server.catalog.cache_info().get("micro", {}),
+            "scheduler": server.scheduler.stats(),
+        }
+    finally:
+        listener.close()
+        await listener.wait_closed()
+        server.close()
+
+
+# -- experiment 2: prepared-path bit-identity over TPC-H ------------------
+
+
+def run_identity(scale: float = 0.01, seed: int = 42) -> dict:
+    """Serving-stack prepared execution vs a fresh single-caller engine,
+    bit-identical on every TPC-H query."""
+    from repro.tpch import QUERIES, build, generate
+
+    store = generate(scale_factor=scale, seed=seed)
+    catalog = Catalog()
+    catalog.add("tpch", store)
+    served_engine = catalog.engine("tpch")
+    reference = VoodooEngine(store, config=EngineConfig(tracing=False))
+    per_query = {}
+    try:
+        for number in sorted(QUERIES):
+            query = build(store, number)
+            served = served_engine.prepare(query).execute().table
+            single = reference.execute(query).table
+            identical = served.columns == single.columns and all(
+                served.arrays[c].dtype == single.arrays[c].dtype
+                and np.array_equal(served.arrays[c], single.arrays[c])
+                for c in served.columns
+            )
+            per_query[f"q{number}"] = bool(identical)
+    finally:
+        reference.close()
+        catalog.close()
+    return {
+        "scale_factor": scale,
+        "queries": per_query,
+        "identical": all(per_query.values()),
+    }
+
+
+# -- entry ----------------------------------------------------------------
+
+
+def run(
+    rows: int = 100_000,
+    clients: int = 4,
+    duration: float = 5.0,
+    warmup: float = 1.5,
+    workers: int = 4,
+    tpch_scale: float = 0.01,
+) -> dict:
+    load = asyncio.run(run_load(
+        rows=rows, clients=clients, duration=duration,
+        warmup=warmup, workers=workers,
+    ))
+    identity = run_identity(scale=tpch_scale)
+    return {"benchmark": "serving_load", "load": load, "identity": identity}
+
+
+def check(report: dict) -> list:
+    """Acceptance violations (empty list == pass)."""
+    violations = []
+    load = report["load"]
+    if load["qps"] <= 0:
+        violations.append(f"qps must be > 0, got {load['qps']}")
+    if load["errors"]:
+        violations.append(f"{load['errors']} request errors")
+    if load["steady_state_compiles"]:
+        violations.append(
+            f"{load['steady_state_compiles']} compilations in the "
+            f"measured window (warm cache must compile nothing)"
+        )
+    if not report["identity"]["identical"]:
+        bad = [q for q, ok in report["identity"]["queries"].items() if not ok]
+        violations.append(f"serving results differ on {bad}")
+    return violations
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Closed-loop load + identity check for the serving layer."
+    )
+    parser.add_argument("--rows", type=int, default=100_000)
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--duration", type=float, default=5.0)
+    parser.add_argument("--warmup", type=float, default=1.5)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--tpch-scale", type=float, default=0.01)
+    parser.add_argument("--out", default="BENCH_serving.json")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero unless acceptance criteria hold")
+    args = parser.parse_args(argv)
+
+    report = run(
+        rows=args.rows, clients=args.clients, duration=args.duration,
+        warmup=args.warmup, workers=args.workers,
+        tpch_scale=args.tpch_scale,
+    )
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    load = report["load"]
+    print(f"{load['clients']} clients x {load['duration_s']}s: "
+          f"{load['qps']} qps, p50 {load['latency_ms']['p50']}ms, "
+          f"p99 {load['latency_ms']['p99']}ms, "
+          f"{load['errors']} errors, "
+          f"{load['steady_state_compiles']} steady-state compiles")
+    print(f"TPC-H identity: "
+          f"{'PASS' if report['identity']['identical'] else 'FAIL'} "
+          f"({len(report['identity']['queries'])} queries)")
+    print(f"wrote {args.out}")
+    if args.check:
+        violations = check(report)
+        for violation in violations:
+            print(f"CHECK FAILED: {violation}")
+        return 1 if violations else 0
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

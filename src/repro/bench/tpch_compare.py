@@ -21,7 +21,7 @@ from __future__ import annotations
 from repro.baselines import HyperEngine, OcelotEngine
 from repro.bench.harness import BarSet
 from repro.compiler import CompilerOptions
-from repro.relational import VoodooEngine
+from repro.relational import EngineConfig, VoodooEngine
 from repro.storage import ColumnStore
 from repro.tpch import CPU_QUERIES, GPU_QUERIES, build, generate
 
@@ -55,7 +55,8 @@ def run(device: str = "cpu-mt", scale_factor: float = 0.02,
     if include_hyper is None:
         include_hyper = device.startswith("cpu")
 
-    voodoo = VoodooEngine(store, CompilerOptions(device=device))
+    voodoo = VoodooEngine(store, config=EngineConfig(
+        options=CompilerOptions(device=device)))
     systems = []
     if include_hyper:
         systems.append(("HyPeR", HyperEngine(store, device=device)))

@@ -44,6 +44,7 @@ import numpy as np
 
 from repro.bench.fused_wallclock import _best_of
 from repro.relational import algebra as ra
+from repro.relational.config import EngineConfig
 from repro.relational.engine import VoodooEngine
 from repro.relational.expressions import Cmp, Col, Lit
 from repro.storage import ColumnStore, Table
@@ -111,9 +112,9 @@ def groupby_query(cards: int = 12) -> ra.Query:
 def _measure_config(
     store: ColumnStore, query: ra.Query, config: TunedConfig, repeats: int
 ) -> float:
-    with VoodooEngine(
-        store, options=config.options, execution=config.execution, tracing=False
-    ) as engine:
+    with VoodooEngine(store, config=EngineConfig(
+        options=config.options, execution=config.execution, tracing=False
+    )) as engine:
         engine.execute(query)  # warm: compile + plan cache + pools
         return _best_of(lambda: engine.execute(query), repeats)
 

@@ -51,3 +51,16 @@ class SQLError(VoodooError):
 
 class TranslationError(VoodooError):
     """Relational algebra could not be translated to Voodoo."""
+
+
+class ServingError(VoodooError):
+    """A serving-layer request failed (bad dataset, session, or payload)."""
+
+
+class AdmissionError(ServingError):
+    """The scheduler's in-flight queue is full; the request was refused
+    immediately rather than queued unboundedly (fast-fail admission)."""
+
+
+class QueryTimeout(ServingError):
+    """A served query exceeded its deadline and was cancelled."""

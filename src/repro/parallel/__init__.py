@@ -34,9 +34,13 @@ from repro.parallel.planner import (
     PartitionPlanner,
     chunk_ranges,
 )
+from repro.parallel.registry import REGISTRY, PoolLease, PoolRegistry
 
 __all__ = [
     "ChunkCrossing",
+    "REGISTRY",
+    "PoolLease",
+    "PoolRegistry",
     "FusedChunkRunner",
     "FusedProgramRunner",
     "FusedUnsupported",

@@ -34,7 +34,7 @@ to sequential evaluation, trading speed for certainty.
 from __future__ import annotations
 
 import os
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import Executor
 from fractions import Fraction
 from typing import Mapping
 
@@ -67,6 +67,7 @@ from repro.parallel.planner import (
     PartitionPlan,
     PartitionPlanner,
 )
+from repro.parallel.registry import REGISTRY, PoolLease
 
 
 class _ChunkInterpreter(Interpreter):
@@ -237,6 +238,7 @@ class ParallelInterpreter:
         #: skipping pointless pool handoffs
         self._effective = min(self.workers, os.cpu_count() or 1)
         self._executor: Executor | None = None
+        self._lease: PoolLease | None = None
         #: memoized plans keyed on program identity + storage shape
         #: (vectors are immutable per the ColumnStore contract, so shape
         #: captures everything the planner reads that can change between
@@ -256,13 +258,14 @@ class ParallelInterpreter:
     # -- pool lifecycle ------------------------------------------------------
 
     def _pool(self) -> Executor:
-        """The persistent worker pool, created lazily on first use."""
-        if self._executor is None:
-            executor_cls = (
-                ThreadPoolExecutor if self.pool == "thread" else ProcessPoolExecutor
-            )
-            self._executor = executor_cls(max_workers=self.workers)
-        return self._executor
+        """The persistent worker pool, leased lazily on first use from the
+        process-wide :data:`~repro.parallel.registry.REGISTRY` — pools
+        are shared across every interpreter (and the serving scheduler)
+        asking for the same ``(pool, workers)`` shape."""
+        if self._lease is None:
+            self._lease = REGISTRY.lease(self.pool, self.workers)
+            self._executor = self._lease.executor
+        return self._lease.executor
 
     @staticmethod
     def _collect(futures: list) -> list:
@@ -280,9 +283,14 @@ class ParallelInterpreter:
             raise
 
     def close(self) -> None:
-        """Shut the worker pool down deterministically (idempotent)."""
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
+        """Release the worker-pool lease deterministically (idempotent).
+
+        The underlying executor shuts down when the last leaseholder
+        releases it — with a single user this is exactly the old
+        per-engine shutdown behavior."""
+        if self._lease is not None:
+            self._lease.release()
+            self._lease = None
             self._executor = None
 
     def __enter__(self) -> "ParallelInterpreter":

@@ -12,6 +12,7 @@ from repro.relational.algebra import (
     Scan,
     SemiJoin,
 )
+from repro.relational.config import EngineConfig
 from repro.relational.engine import QueryResult, ResultTable, VoodooEngine
 from repro.relational.expressions import (
     Arith,
@@ -24,14 +25,18 @@ from repro.relational.expressions import (
     Lit,
     Membership,
     Not,
+    Param,
     ScalarOf,
 )
+from repro.relational.prepared import PreparedQuery
 from repro.relational.sql import parse_sql
 from repro.relational.translate import Translator, translate_query
 
 __all__ = [
     "AggSpec", "Filter", "GroupBy", "Join", "KeySpec", "Map", "Plan", "Query",
     "Scan", "SemiJoin", "QueryResult", "ResultTable", "VoodooEngine",
+    "EngineConfig", "PreparedQuery",
     "Arith", "Cast", "Cmp", "Col", "Expr", "IfThenElse", "InSet", "Lit",
-    "Membership", "Not", "ScalarOf", "parse_sql", "Translator", "translate_query",
+    "Membership", "Not", "Param", "ScalarOf", "parse_sql", "Translator",
+    "translate_query",
 ]

@@ -1,0 +1,148 @@
+"""Engine configuration: every :class:`VoodooEngine` knob in one object.
+
+Historically the engine grew ten loose constructor keywords
+(``options``/``grain``/``parallelism``/``execution``/``tracing``/
+``plan_cache``/``tuning``/``tuner``/``tuning_cache``); every subsystem
+that builds engines — the serving catalog, the tuner's delegates, the
+conformance grid — re-implemented the same normalization and conflict
+checks.  :class:`EngineConfig` is the one validated description they all
+construct engines from now:
+
+    engine = VoodooEngine(store, config=EngineConfig(tracing=False))
+
+The old keyword form still works through a thin shim that normalizes to
+an ``EngineConfig`` and emits a :class:`DeprecationWarning`; see
+``EngineConfig.from_kwargs``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.compiler.options import CompilerOptions, ExecutionOptions
+from repro.errors import ExecutionError
+
+TUNING_MODES = ("off", "auto")
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """A frozen, validated description of one engine configuration.
+
+    Attributes
+    ----------
+    options:
+        Code-generation knobs (:class:`CompilerOptions`).
+    grain:
+        Control-vector grain intent; ``None`` picks the device default
+        (GPUs want many more partitions in flight than CPUs).
+    execution:
+        Runtime knobs (:class:`ExecutionOptions`); ``workers > 1``
+        selects the partition-parallel backend.
+    tracing:
+        Collect the priced operation trace.  ``None`` resolves to the
+        historical default: on for sequential untuned engines, off for
+        parallel or auto-tuned ones.
+    plan_cache:
+        Memoize compiled plans / translated programs per query structure.
+    tuning:
+        ``"off"`` (static knobs) or ``"auto"`` (the adaptive tuner picks
+        per query; ``execution`` must then be left unset).
+    tuner:
+        Optional pre-built :class:`~repro.tuner.AutoTuner` (shared across
+        engines for a shared decision cache).  Excluded from equality.
+    tuning_cache:
+        :class:`~repro.tuner.TuningCache` or path for a persistent one,
+        handed to a lazily built tuner.  Excluded from equality.
+    """
+
+    options: CompilerOptions = field(default_factory=CompilerOptions)
+    grain: int | None = None
+    execution: ExecutionOptions | None = None
+    tracing: bool | None = None
+    plan_cache: bool = True
+    tuning: str = "off"
+    tuner: object | None = field(default=None, compare=False)
+    tuning_cache: object | None = field(default=None, compare=False)
+
+    @property
+    def parallel(self) -> bool:
+        return self.execution is not None and self.execution.workers > 1
+
+    def validate(self) -> "EngineConfig":
+        """Raise :class:`ExecutionError` on any conflicting knob pair."""
+        if self.tuning not in TUNING_MODES:
+            raise ExecutionError(
+                f'tuning must be "off" or "auto", got {self.tuning!r}'
+            )
+        if self.grain is not None and self.grain < 1:
+            raise ExecutionError(f"grain must be >= 1 or None, got {self.grain}")
+        if self.tracing and self.parallel:
+            raise ExecutionError(
+                "tracing=True is incompatible with workers > 1: the "
+                "partition-parallel backend executes real kernels and has "
+                "no priced trace to collect.  Use a sequential engine for "
+                "simulation, or tracing=False (the parallel default)."
+            )
+        if self.tuning == "auto" and self.tracing:
+            raise ExecutionError(
+                "tuning=\"auto\" picks untraced serving configurations; "
+                "use a tuning=\"off\" engine for simulation/tracing."
+            )
+        if self.tuning == "auto" and self.execution is not None:
+            raise ExecutionError(
+                "tuning=\"auto\" chooses ExecutionOptions itself; drop the "
+                "execution=/parallelism= argument (or pin the knobs with "
+                "tuning=\"off\")."
+            )
+        return self
+
+    def resolved(self) -> "EngineConfig":
+        """Validate and fill the ``None`` defaults (grain per device,
+        tracing per backend) — the config an engine actually runs."""
+        self.validate()
+        grain = self.grain
+        if grain is None:
+            # device-tuned control-vector grain: GPUs want many more
+            # partitions in flight than CPUs (the paper's tunability knob)
+            grain = 256 if self.options.device == "gpu" else 4096
+        tracing = self.tracing
+        if tracing is None:
+            tracing = not self.parallel and self.tuning == "off"
+        return replace(self, grain=grain, tracing=tracing).validate()
+
+    def with_(self, **changes) -> "EngineConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    @classmethod
+    def from_kwargs(
+        cls,
+        *,
+        options: CompilerOptions | None = None,
+        grain: int | None = None,
+        parallelism: int | None = None,
+        execution: ExecutionOptions | None = None,
+        tracing: bool | None = None,
+        plan_cache: bool = True,
+        tuning: str = "off",
+        tuner=None,
+        tuning_cache=None,
+    ) -> "EngineConfig":
+        """Normalize the legacy keyword form (the deprecation shim's body).
+
+        ``parallelism=N`` was sugar for ``execution=ExecutionOptions(
+        workers=N)``; everything else maps one-to-one.
+        """
+        if execution is None and parallelism is not None:
+            execution = ExecutionOptions(workers=parallelism)
+        return cls(
+            options=options or CompilerOptions(),
+            grain=grain,
+            execution=execution,
+            tracing=tracing,
+            plan_cache=plan_cache,
+            tuning=tuning,
+            tuner=tuner,
+            tuning_cache=tuning_cache,
+        )

@@ -8,17 +8,21 @@ decoded, order-by/limit applied as post-processing, as in section 5.2).
 
 from __future__ import annotations
 
+import threading
+import warnings
 from dataclasses import dataclass, fields, is_dataclass
 
 import numpy as np
 
-from repro.compiler import CompiledProgram, CompilerOptions, ExecutionOptions, compile_program
+from repro.compiler import CompiledProgram, CompilerOptions, compile_program
 from repro.core.keypath import Keypath
 from repro.errors import ExecutionError, TranslationError
 from repro.hardware.cost import CostReport
 from repro.hardware.trace import Trace
 from repro.parallel import ParallelInterpreter
 from repro.relational.algebra import Query
+from repro.relational.config import EngineConfig
+from repro.relational.prepared import PreparedQuery
 from repro.relational.translate import Translator
 from repro.storage.columnstore import ColumnStore
 
@@ -96,7 +100,16 @@ class QueryResult:
 class VoodooEngine:
     """Executes relational queries through the Voodoo backend.
 
-    ``parallelism=N`` (N > 1) switches execution to the partition-parallel
+    Configured by one validated :class:`~repro.relational.config.EngineConfig`
+    (``VoodooEngine(store, config=EngineConfig(...))``); the historical
+    loose keywords still work through a deprecation shim that normalizes
+    to the same config.  Every execution — ``query()``, ``execute()``,
+    SQL text or :class:`Query` objects — routes through a
+    :class:`~repro.relational.prepared.PreparedQuery` (see
+    :meth:`prepare`), so prepared and ad-hoc execution share one entry
+    point and one set of caches.
+
+    ``execution.workers=N`` (N > 1) switches execution to the partition-parallel
     backend: queries are translated as usual, then split into chunks
     along control-vector runs and run on an N-wide worker pool, producing
     results bit-identical to the sequential backends.  By default the
@@ -141,68 +154,70 @@ class VoodooEngine:
     space preserves semantics, only latency changes.
     """
 
+    #: the legacy keyword arguments the deprecation shim still accepts
+    _LEGACY_KWARGS = frozenset({
+        "options", "grain", "parallelism", "execution", "tracing",
+        "plan_cache", "tuning", "tuner", "tuning_cache",
+    })
+
     def __init__(
         self,
         store: ColumnStore,
-        options: CompilerOptions | None = None,
-        grain: int | None = None,
-        parallelism: int | None = None,
-        execution: ExecutionOptions | None = None,
-        tracing: bool | None = None,
-        plan_cache: bool = True,
-        tuning: str = "off",
-        tuner=None,
-        tuning_cache=None,
+        config: EngineConfig | CompilerOptions | None = None,
+        **legacy,
     ):
-        self.store = store
-        self.options = options or CompilerOptions()
-        if grain is None:
-            # device-tuned control-vector grain: GPUs want many more
-            # partitions in flight than CPUs (the paper's tunability knob)
-            grain = 256 if self.options.device == "gpu" else 4096
-        self.grain = grain
-        if execution is None and parallelism is not None:
-            execution = ExecutionOptions(workers=parallelism)
-        self.execution = execution
-        if tuning not in ("off", "auto"):
-            raise ExecutionError(f'tuning must be "off" or "auto", got {tuning!r}')
-        parallel = execution is not None and execution.workers > 1
-        if tracing is None:
-            tracing = not parallel and tuning == "off"
-        elif tracing and parallel:
-            raise ExecutionError(
-                "tracing=True is incompatible with workers > 1: the "
-                "partition-parallel backend executes real kernels and has "
-                "no priced trace to collect.  Use a sequential engine for "
-                "simulation, or tracing=False (the parallel default)."
+        if isinstance(config, CompilerOptions):
+            # the pre-EngineConfig positional form: VoodooEngine(store, opts)
+            legacy.setdefault("options", config)
+            config = None
+        if legacy:
+            unknown = sorted(set(legacy) - self._LEGACY_KWARGS)
+            if unknown:
+                raise TypeError(f"unknown VoodooEngine argument(s) {unknown}")
+            if config is not None:
+                raise ExecutionError(
+                    "pass either config=EngineConfig(...) or the legacy "
+                    "keyword arguments, not both"
+                )
+            warnings.warn(
+                "VoodooEngine's loose keyword arguments (options=, grain=, "
+                "parallelism=, execution=, tracing=, plan_cache=, tuning=, "
+                "tuner=, tuning_cache=) are deprecated; pass "
+                "config=EngineConfig(...) instead",
+                DeprecationWarning,
+                stacklevel=2,
             )
-        self.tracing = tracing
+            config = EngineConfig.from_kwargs(**legacy)
+        config = (config if config is not None else EngineConfig()).resolved()
+        self.config = config
+        self.store = store
+        self.options = config.options
+        self.grain = config.grain
+        self.execution = config.execution
+        self.tracing = config.tracing
+        self.tuning = config.tuning
         self._parallel_backend: ParallelInterpreter | None = None
-        self._plan_cache: dict | None = {} if plan_cache else None
+        self._plan_cache: dict | None = {} if config.plan_cache else None
         self._program_cache: dict = {}
         self.plan_cache_hits = 0
         self.plan_cache_misses = 0
         self.program_cache_hits = 0
         self.program_cache_misses = 0
-        if tuning == "auto" and tracing:
-            raise ExecutionError(
-                "tuning=\"auto\" picks untraced serving configurations; "
-                "use a tuning=\"off\" engine for simulation/tracing."
-            )
-        if tuning == "auto" and execution is not None:
-            raise ExecutionError(
-                "tuning=\"auto\" chooses ExecutionOptions itself; drop the "
-                "execution=/parallelism= argument (or pin the knobs with "
-                "tuning=\"off\")."
-            )
-        self.tuning = tuning
-        self._tuner = tuner
-        self._tuning_cache_arg = tuning_cache
+        self._tuner = config.tuner
+        self._tuning_cache_arg = config.tuning_cache
         #: tuned plan-cache: key = (query structure, store, hardware);
         #: the *entry* carries the tuner's decision (config), never the key
         self._tuned_decisions: dict = {}
         #: per-configuration delegate engines (each with its own plan cache)
         self._delegates: dict = {}
+        #: prepared queries, memoized by structural fingerprint
+        self._prepared: dict = {}
+        self._closed = False
+        #: serving engines execute concurrently: misses compile under this
+        #: lock (hits stay lock-free), and the stateful parallel backend
+        #: serializes whole executions
+        self._compile_lock = threading.Lock()
+        self._parallel_lock = threading.Lock()
 
     def vectors(self):
         """The Load context; rebuilt per call so late-registered auxiliary
@@ -273,11 +288,16 @@ class VoodooEngine:
         if compiled is not None:
             self.plan_cache_hits += 1
             return compiled
-        self.plan_cache_misses += 1
-        compiled = compile_program(self.translate(query), self.options)
-        self._evict(self._plan_cache)
-        self._plan_cache[key] = compiled
-        return compiled
+        with self._compile_lock:
+            compiled = self._plan_cache.get(key)
+            if compiled is not None:  # raced another thread's miss
+                self.plan_cache_hits += 1
+                return compiled
+            self.plan_cache_misses += 1
+            compiled = compile_program(self.translate(query), self.options)
+            self._evict(self._plan_cache)
+            self._plan_cache[key] = compiled
+            return compiled
 
     # -- auto-tuning ---------------------------------------------------------
 
@@ -311,11 +331,13 @@ class VoodooEngine:
         if delegate is None:
             delegate = VoodooEngine(
                 self.store,
-                options=config.options,
-                grain=self.grain,
-                execution=config.execution,
-                tracing=False,
-                plan_cache=self._plan_cache is not None,
+                config=EngineConfig(
+                    options=config.options,
+                    grain=self.grain,
+                    execution=config.execution,
+                    tracing=False,
+                    plan_cache=self._plan_cache is not None,
+                ),
             )
             self._delegates[config] = delegate
         return delegate
@@ -332,11 +354,51 @@ class VoodooEngine:
 
     # -- execution -----------------------------------------------------------
 
-    def execute(self, query: Query) -> QueryResult:
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ExecutionError(
+                "engine is closed: its worker pools and delegates have been "
+                "released.  Construct a new VoodooEngine (close() is "
+                "terminal, so a serving layer can lease and release engines "
+                "without a released engine silently re-opening pools)."
+            )
+
+    def prepare(self, query: Query | str) -> PreparedQuery:
+        """Analyze *query* (a :class:`Query` or SQL text) once for repeated
+        execution; memoized by structural fingerprint, so preparing the
+        same shape twice returns the same object."""
+        self._check_open()
+        if isinstance(query, str):
+            from repro.relational.sql import parse_sql
+
+            query = parse_sql(query, self.store)
+        key = structural_fingerprint(query)
+        prepared = self._prepared.get(key)
+        if prepared is None:
+            prepared = PreparedQuery(self, query)
+            self._evict(self._prepared)
+            self._prepared[key] = prepared
+        return prepared
+
+    def execute(self, query: Query | str, **params) -> QueryResult:
+        """Execute (via an internally prepared query — the single entry
+        point); ``params`` bind any :class:`Param` slots."""
+        return self.prepare(query).execute(**params)
+
+    def query(self, query: Query | str, **params) -> ResultTable:
+        return self.execute(query, **params).table
+
+    def _execute_bound(self, query: Query) -> QueryResult:
+        """Run one fully bound query (every execution funnels through
+        here: ad-hoc, prepared, and tuned-delegate alike)."""
+        self._check_open()
         if self.tuning == "auto":
-            return self._delegate(self._tuned_config(query)).execute(query)
+            return self._delegate(self._tuned_config(query))._execute_bound(query)
         if self.execution is not None and self.execution.workers > 1:
-            return self._execute_parallel(query)
+            # the parallel backend is stateful (reset_storage + plan reuse):
+            # concurrent serving threads take turns
+            with self._parallel_lock:
+                return self._execute_parallel(query)
         compiled = self.compile(query)
         if not self.tracing:
             outputs, trace = compiled.run(self.vectors(), collect_trace=False)
@@ -361,11 +423,16 @@ class VoodooEngine:
         if program is not None:
             self.program_cache_hits += 1
             return program
-        self.program_cache_misses += 1
-        program = self.translate(query)
-        self._evict(self._program_cache)
-        self._program_cache[key] = program
-        return program
+        with self._compile_lock:
+            program = self._program_cache.get(key)
+            if program is not None:
+                self.program_cache_hits += 1
+                return program
+            self.program_cache_misses += 1
+            program = self.translate(query)
+            self._evict(self._program_cache)
+            self._program_cache[key] = program
+            return program
 
     def _execute_parallel(self, query: Query) -> QueryResult:
         """Multicore end-to-end: translate, then chunk over the engine's
@@ -393,27 +460,36 @@ class VoodooEngine:
         )
 
     def close(self) -> None:
-        """Shut down the persistent parallel worker pool (idempotent).
+        """Release worker-pool leases and delegates (idempotent, terminal).
 
-        Sequential engines have nothing to release; parallel engines —
+        Sequential engines have little to release; parallel engines —
         especially with ``pool="process"`` — should be closed (or used
-        as context managers) so worker processes exit deterministically.
+        as context managers) so worker pools are released
+        deterministically.  A closed engine raises
+        :class:`~repro.errors.ExecutionError` on any further execution:
+        the serving layer leases and releases engines, and a released
+        engine silently re-opening pools would leak them.
         """
+        if self._closed:
+            return
+        self._closed = True
         if self._parallel_backend is not None:
             self._parallel_backend.close()
             self._parallel_backend = None
         for delegate in self._delegates.values():
             delegate.close()
         self._delegates.clear()
+        self._prepared.clear()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
     def __enter__(self) -> "VoodooEngine":
         return self
 
     def __exit__(self, *exc) -> None:
         self.close()
-
-    def query(self, query: Query) -> ResultTable:
-        return self.execute(query).table
 
     # -- result extraction -------------------------------------------------------
 

@@ -99,6 +99,19 @@ class Lit(Expr):
 
 
 @dataclass(frozen=True)
+class Param(Expr):
+    """A literal bind slot of a prepared query (``:name`` in SQL).
+
+    Stands where a :class:`Lit` would; binding (``PreparedQuery.bind`` /
+    ``execute(name=value)``) substitutes the value before translation.
+    Reaching the translator unbound is an error — a parameterized query
+    must be executed through its prepared form.
+    """
+
+    name: str
+
+
+@dataclass(frozen=True)
 class Arith(Expr):
     """Arithmetic; ``div`` promotes integer operands to float (SQL
     semantics), ``idiv`` is integer floor division (date/year math)."""
@@ -214,7 +227,7 @@ def columns_used(expr: Expr) -> set[str]:
             visit(e.cond)
             visit(e.then)
             visit(e.otherwise)
-        # Lit, ScalarOf: no outer columns
+        # Lit, Param, ScalarOf: no outer columns
 
     visit(expr)
     return out

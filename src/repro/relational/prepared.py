@@ -1,0 +1,186 @@
+"""Prepared queries: the engine's single execution entry point.
+
+``engine.prepare(query_or_sql)`` returns a :class:`PreparedQuery` — the
+query's structure analyzed once, its literal bind slots
+(:class:`~repro.relational.expressions.Param`, ``:name`` in SQL)
+discovered, and every execution routed through the engine's plan- and
+tuning-caches by structural fingerprint.  ``engine.query()`` /
+``engine.execute()`` are thin wrappers over it, so ad-hoc and prepared
+execution share one code path:
+
+    ready = engine.prepare("select sum(v) as total from t where k <= :hi")
+    ready.execute(hi=10).table      # binds, executes through the caches
+    ready.bind(hi=10)               # the substituted Query itself
+    ready.explain(hi=10)            # how it would run
+
+Binding substitutes :class:`Param` nodes with :class:`Lit` values and is
+memoized per value tuple, so a steady-state serving workload cycling over
+a fixed parameter set re-executes cached plans and compiles nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields, is_dataclass, replace
+from typing import TYPE_CHECKING
+
+from repro.errors import ExecutionError
+from repro.relational import expressions as ex
+from repro.relational.algebra import Query
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.relational.engine import QueryResult, ResultTable, VoodooEngine
+
+
+def find_params(obj) -> tuple[str, ...]:
+    """Names of all :class:`Param` bind slots in a query tree, in
+    discovery order (deduplicated — one slot may appear many times)."""
+    seen: list[str] = []
+
+    def visit(node) -> None:
+        if isinstance(node, ex.Param):
+            if node.name not in seen:
+                seen.append(node.name)
+        elif is_dataclass(node) and not isinstance(node, type):
+            for f in fields(node):
+                visit(getattr(node, f.name))
+        elif isinstance(node, dict):
+            for value in node.values():
+                visit(value)
+        elif isinstance(node, (list, tuple)):
+            for value in node:
+                visit(value)
+
+    visit(obj)
+    return tuple(seen)
+
+
+def bind_params(query: Query, values: dict) -> Query:
+    """*query* with every :class:`Param` replaced by a bound ``Lit``.
+
+    Structurally identical to hand-building the query with the literals
+    in place — the resulting fingerprint (hence plan-cache key) is the
+    same, which is what lets prepared executions share cache entries
+    with ad-hoc ones.
+    """
+    for name, value in values.items():
+        if not isinstance(value, (int, float, bool)):
+            raise ExecutionError(
+                f"parameter {name!r} must bind a numeric/boolean literal, "
+                f"got {type(value).__name__} (resolve strings to dictionary "
+                f"codes first, as the SQL frontend does)"
+            )
+
+    def rebuild(node):
+        if isinstance(node, ex.Param):
+            return ex.Lit(values[node.name])
+        if is_dataclass(node) and not isinstance(node, type):
+            changes = {
+                f.name: rebuild(getattr(node, f.name)) for f in fields(node)
+            }
+            return replace(node, **changes)
+        if isinstance(node, dict):
+            return {key: rebuild(value) for key, value in node.items()}
+        if isinstance(node, tuple):
+            return tuple(rebuild(value) for value in node)
+        if isinstance(node, list):
+            return [rebuild(value) for value in node]
+        return node
+
+    return rebuild(query)
+
+
+class PreparedQuery:
+    """One analyzed query bound to one engine.
+
+    Obtained from :meth:`VoodooEngine.prepare`; ``params`` lists the bind
+    slots.  Bound queries are memoized per value tuple (capped), so
+    repeated executions with recurring parameters touch the engine's
+    plan cache directly.
+    """
+
+    #: memoized bound-query cap (mirrors the engine's cache capacity)
+    BIND_CAPACITY = 256
+
+    def __init__(self, engine: "VoodooEngine", query: Query):
+        self.engine = engine
+        self.query = query
+        self.params: tuple[str, ...] = find_params(query)
+        self._bound: dict[tuple, Query] = {}
+
+    # -- binding -----------------------------------------------------------
+
+    def bind(self, **params) -> Query:
+        """The substituted :class:`Query` for these parameter values."""
+        missing = [name for name in self.params if name not in params]
+        if missing:
+            raise ExecutionError(
+                f"missing parameter(s) {missing}; prepared query takes "
+                f"{list(self.params) or 'no parameters'}"
+            )
+        unknown = [name for name in params if name not in self.params]
+        if unknown:
+            raise ExecutionError(
+                f"unknown parameter(s) {unknown}; prepared query takes "
+                f"{list(self.params) or 'no parameters'}"
+            )
+        if not self.params:
+            return self.query
+        key = tuple(params[name] for name in self.params)
+        bound = self._bound.get(key)
+        if bound is None:
+            bound = bind_params(self.query, params)
+            if len(self._bound) >= self.BIND_CAPACITY:
+                self._bound.pop(next(iter(self._bound)))
+            self._bound[key] = bound
+        return bound
+
+    # -- execution ---------------------------------------------------------
+
+    def execute(self, **params) -> "QueryResult":
+        """Bind and execute; the engine's caches serve repeated shapes."""
+        return self.engine._execute_bound(self.bind(**params))
+
+    def table(self, **params) -> "ResultTable":
+        """:meth:`execute`'s result table (the common serving call)."""
+        return self.execute(**params).table
+
+    # -- observability -----------------------------------------------------
+
+    def explain(self, **params) -> str:
+        """How this query would execute: backend, cache state, kernels."""
+        bound = self.bind(**params)
+        engine = self.engine
+        lines = [
+            f"prepared query: {len(self.params)} parameter(s) "
+            f"{list(self.params)}"
+        ]
+        if engine.tuning == "auto":
+            lines.append(engine.explain_tuning(bound).render())
+            return "\n".join(lines)
+        if engine.execution is not None and engine.execution.workers > 1:
+            cached = engine.cache_key(bound) in engine._program_cache
+            lines.append(
+                f"backend: partition-parallel ({engine.execution.workers} "
+                f"workers, {engine.execution.pool} pool)"
+            )
+            lines.append(f"translated program cached: {cached}")
+        else:
+            cached = (
+                engine._plan_cache is not None
+                and engine.cache_key(bound) in engine._plan_cache
+            )
+            compiled = engine.compile(bound)
+            mode = "traced (simulated cost)" if engine.tracing else (
+                "fused wall-clock" if compiled.fused_entry is not None
+                else "untraced"
+            )
+            lines.append(f"backend: sequential, {mode}, device {engine.options.device}")
+            lines.append(f"compiled plan cached before this call: {cached}")
+            lines.append(f"kernels: {compiled.kernel_count()}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"PreparedQuery(params={list(self.params)}, "
+            f"select={self.query.select})"
+        )

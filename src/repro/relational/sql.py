@@ -12,7 +12,9 @@ for the reproduction on a useful subset:
 
 Expressions support arithmetic, comparisons, AND/OR/NOT, BETWEEN, IN
 (value lists), parentheses, numeric and ``'string'`` literals (resolved to
-dictionary codes against the referenced column), and the aggregates
+dictionary codes against the referenced column), ``:name`` bind
+parameters (prepared-query literal slots, see
+:mod:`repro.relational.prepared`), and the aggregates
 SUM/MIN/MAX/AVG/COUNT(*).  Joins and subqueries are built with the plan
 API (:mod:`repro.relational.algebra`) — mirroring the paper's hand-built
 plans for the evaluation queries.
@@ -29,7 +31,8 @@ from repro.relational import expressions as ex
 from repro.storage.columnstore import ColumnStore
 
 _TOKEN_RE = re.compile(
-    r"\s*(?:(?P<num>\d+\.\d+|\d+)|(?P<str>'(?:[^']|'')*')|(?P<id>[A-Za-z_][A-Za-z0-9_]*)"
+    r"\s*(?:(?P<num>\d+\.\d+|\d+)|(?P<str>'(?:[^']|'')*')"
+    r"|(?P<param>:[A-Za-z_][A-Za-z0-9_]*)|(?P<id>[A-Za-z_][A-Za-z0-9_]*)"
     r"|(?P<op><=|>=|<>|!=|=|<|>|\(|\)|,|\*|\+|-|/))"
 )
 
@@ -60,6 +63,8 @@ def tokenize(sql: str) -> list[_Token]:
             tokens.append(_Token("num", match.group("num")))
         elif match.group("str") is not None:
             tokens.append(_Token("str", match.group("str")[1:-1].replace("''", "'")))
+        elif match.group("param") is not None:
+            tokens.append(_Token("param", match.group("param")[1:]))
         elif match.group("id") is not None:
             word = match.group("id")
             kind = "kw" if word.lower() in _KEYWORDS else "id"
@@ -269,6 +274,8 @@ class Parser:
             return ex.Lit(float(token.text) if "." in token.text else int(token.text))
         if token.kind == "str":
             return _PendingString(token.text)
+        if token.kind == "param":
+            return ex.Param(token.text)
         if token.kind == "id":
             return ex.Col(token.text)
         raise SQLError(f"unexpected token {token.text!r} in expression")

@@ -381,6 +381,12 @@ class Translator:
         if isinstance(expr, ex.Lit):
             const = self.b.constant(expr.value)
             return const, const.only_attr()
+        if isinstance(expr, ex.Param):
+            raise TranslationError(
+                f"unbound parameter :{expr.name}: a parameterized query "
+                f"must be executed through engine.prepare(...), binding "
+                f"{expr.name}=<value>"
+            )
         if isinstance(expr, ex.Arith):
             return self._emit_arith(expr, rel)
         if isinstance(expr, ex.Cmp):

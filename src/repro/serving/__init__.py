@@ -1,0 +1,28 @@
+"""The concurrent query-serving layer.
+
+Turns the single-caller engine into a server: a catalog of named
+datasets, uuid sessions with prepared statements, and a scheduler that
+multiplexes concurrent requests onto the process-wide worker-pool
+registry with bounded admission and per-query deadlines.  Run one with::
+
+    python -m repro.serving --micro 100000        # HTTP on 127.0.0.1:8765
+    python -m repro.serving --tpch 0.01 --stdio   # JSON-lines over stdio
+
+See :mod:`repro.serving.server` for the operation table shared by both
+transports.
+"""
+
+from repro.serving.catalog import Catalog
+from repro.serving.scheduler import QueryScheduler, ServingConfig
+from repro.serving.server import VoodooServer, table_to_json
+from repro.serving.session import Session, SessionManager
+
+__all__ = [
+    "Catalog",
+    "QueryScheduler",
+    "ServingConfig",
+    "Session",
+    "SessionManager",
+    "VoodooServer",
+    "table_to_json",
+]

@@ -1,0 +1,94 @@
+"""Serving sessions: the unit of client state.
+
+A session pins a dataset and owns the client's prepared statements.
+Statements are *handles*: the expensive artifacts (translated plans,
+compiled kernels) live in the dataset's shared engine, so two sessions
+preparing the same SQL share every cache line — the session merely maps
+a client-visible statement id to a
+:class:`~repro.relational.PreparedQuery`.
+
+All mutation happens on the event-loop thread; worker threads only read
+the already-bound queries, so no locking is needed here.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+import uuid
+
+from repro.errors import ServingError
+from repro.relational import PreparedQuery
+
+
+class Session:
+    """One client's state: a dataset binding plus prepared statements."""
+
+    def __init__(self, session_id: str, dataset: str):
+        self.id = session_id
+        self.dataset = dataset
+        self.created = time.time()
+        self.statements: dict[str, PreparedQuery] = {}
+        self.queries_run = 0
+        self._next_statement = itertools.count(1)
+
+    def add_statement(self, prepared: PreparedQuery) -> str:
+        statement_id = f"s{next(self._next_statement)}"
+        self.statements[statement_id] = prepared
+        return statement_id
+
+    def statement(self, statement_id: str) -> PreparedQuery:
+        prepared = self.statements.get(statement_id)
+        if prepared is None:
+            raise ServingError(
+                f"unknown statement {statement_id!r} in session {self.id}; "
+                f"prepared: {sorted(self.statements)}"
+            )
+        return prepared
+
+    def describe(self) -> dict:
+        return {
+            "session": self.id,
+            "dataset": self.dataset,
+            "statements": {
+                sid: list(prepared.params)
+                for sid, prepared in self.statements.items()
+            },
+            "queries_run": self.queries_run,
+        }
+
+
+class SessionManager:
+    """Open/close/lookup for :class:`Session`s (uuid-keyed)."""
+
+    def __init__(self) -> None:
+        self._sessions: dict[str, Session] = {}
+        self.opened = 0
+        self.closed = 0
+
+    def open(self, dataset: str) -> Session:
+        session = Session(uuid.uuid4().hex[:16], dataset)
+        self._sessions[session.id] = session
+        self.opened += 1
+        return session
+
+    def get(self, session_id: str) -> Session:
+        session = self._sessions.get(session_id)
+        if session is None:
+            raise ServingError(f"unknown or closed session {session_id!r}")
+        return session
+
+    def close(self, session_id: str) -> None:
+        if self._sessions.pop(session_id, None) is not None:
+            self.closed += 1
+
+    def close_all(self) -> None:
+        self.closed += len(self._sessions)
+        self._sessions.clear()
+
+    def stats(self) -> dict:
+        return {
+            "active_sessions": len(self._sessions),
+            "sessions_opened": self.opened,
+            "sessions_closed": self.closed,
+        }

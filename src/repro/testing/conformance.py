@@ -38,7 +38,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.compiler import CompilerOptions, ExecutionOptions
-from repro.relational import VoodooEngine
+from repro.relational import EngineConfig, VoodooEngine
 from repro.relational.engine import ResultTable
 from repro.testing import oracle as oracle_mod
 from repro.testing.serialize import Case, save_case
@@ -67,17 +67,17 @@ class BackendConfig:
             tuner = AutoTuner(
                 store, space=compact_space(), shortlist=2, repeats=1
             )
-            return VoodooEngine(store, grain=grain, tuning="auto", tuner=tuner)
+            return VoodooEngine(store, config=EngineConfig(
+                grain=grain, tuning="auto", tuner=tuner))
         execution = None
         if self.workers > 1 or not self.exec_fastpath:
             execution = ExecutionOptions(workers=self.workers, fastpath=self.exec_fastpath)
-        return VoodooEngine(
-            store,
+        return VoodooEngine(store, config=EngineConfig(
             options=self.options,
             grain=grain,
             execution=execution,
             tracing=self.tracing,
-        )
+        ))
 
 
 #: the full grid; the first entry is the reference every other entry

@@ -5,7 +5,7 @@ Two-stage search — a cost-model pruner over :mod:`repro.hardware.cost`
 followed by a measured refiner with early-exit racing on a sampled
 store — memoized in a persistent :class:`TuningCache` keyed on query ×
 store × hardware.  Wired into the engine as
-``VoodooEngine(store, tuning="auto")``; inspect decisions with
+``VoodooEngine(store, config=EngineConfig(tuning="auto"))``; inspect decisions with
 ``engine.explain_tuning(query)`` or ``python -m repro.tuner`` (smoke
 CLI: tune three TPC-H queries, prove the warm cache re-answers with
 zero measured trials).

@@ -17,6 +17,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -94,12 +95,18 @@ class TuningCache:
     ``put`` rewrites the file and construction reloads it, so tuned
     configs survive process restarts.  Unreadable or version-mismatched
     files are treated as empty (the tuner re-tunes) rather than fatal.
+
+    Thread-safe: one cache instance is shared by every engine the serving
+    catalog builds, so concurrent sessions reuse each other's decisions.
     """
 
     path: Path | None = None
     entries: dict[str, TuningEntry] = field(default_factory=dict)
     hits: int = 0
     misses: int = 0
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.path is not None:
@@ -109,25 +116,28 @@ class TuningCache:
     # -- lookup ------------------------------------------------------------
 
     def get(self, key: TuningKey) -> TuningEntry | None:
-        entry = self.entries.get(key.token())
-        if entry is None:
-            self.misses += 1
-            return None
-        self.hits += 1
-        return entry
+        with self._lock:
+            entry = self.entries.get(key.token())
+            if entry is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            return entry
 
     def put(self, entry: TuningEntry) -> None:
-        self.entries[entry.key.token()] = entry
-        if self.path is not None:
-            self.save()
+        with self._lock:
+            self.entries[entry.key.token()] = entry
+            if self.path is not None:
+                self.save()
 
     def info(self) -> dict:
-        return {
-            "tuning_hits": self.hits,
-            "tuning_misses": self.misses,
-            "tuning_entries": len(self.entries),
-            "tuning_path": None if self.path is None else str(self.path),
-        }
+        with self._lock:
+            return {
+                "tuning_hits": self.hits,
+                "tuning_misses": self.misses,
+                "tuning_entries": len(self.entries),
+                "tuning_path": None if self.path is None else str(self.path),
+            }
 
     # -- persistence -------------------------------------------------------
 
@@ -135,15 +145,16 @@ class TuningCache:
         target = Path(path) if path is not None else self.path
         if target is None:
             raise ValueError("TuningCache has no path; pass one to save()")
-        target.parent.mkdir(parents=True, exist_ok=True)
-        document = {
-            "version": _VERSION,
-            "entries": [entry.to_json() for entry in self.entries.values()],
-        }
-        tmp = target.with_suffix(target.suffix + ".tmp")
-        tmp.write_text(json.dumps(document, indent=2) + "\n")
-        tmp.replace(target)
-        return target
+        with self._lock:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            document = {
+                "version": _VERSION,
+                "entries": [entry.to_json() for entry in self.entries.values()],
+            }
+            tmp = target.with_suffix(target.suffix + ".tmp")
+            tmp.write_text(json.dumps(document, indent=2) + "\n")
+            tmp.replace(target)
+            return target
 
     def load(self, path: str | Path | None = None) -> int:
         """Merge entries from disk (file wins); returns entries loaded."""

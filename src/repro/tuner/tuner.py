@@ -208,6 +208,7 @@ class AutoTuner:
         that trace with its worker count capped at the machine's real
         cores, plus the pool-overhead priors.
         """
+        from repro.relational.config import EngineConfig
         from repro.relational.engine import VoodooEngine
 
         outcomes = [CandidateOutcome(config) for config in self.space]
@@ -220,9 +221,8 @@ class AutoTuner:
             # differing only there share one compile + traced run
             variant = options.with_(fastpath=False)
             if variant not in compiled_by_variant:
-                engine = VoodooEngine(
-                    self.sample, options=variant, grain=grain, tracing=True
-                )
+                engine = VoodooEngine(self.sample, config=EngineConfig(
+                    options=variant, grain=grain, tracing=True))
                 compiled = engine.compile(query)
                 _, trace = compiled.run(engine.vectors())
                 compiled_by_variant[variant] = compiled
@@ -253,6 +253,7 @@ class AutoTuner:
         self, query: Query, grain: int | None, outcomes: list[CandidateOutcome]
     ) -> None:
         """Stage 2: race the shortlist on the sample in real wall-clock."""
+        from repro.relational.config import EngineConfig
         from repro.relational.engine import VoodooEngine
 
         ranked = sorted(
@@ -269,13 +270,12 @@ class AutoTuner:
         for index in picks:
             outcome = outcomes[index]
             config = outcome.config
-            with VoodooEngine(
-                self.sample,
+            with VoodooEngine(self.sample, config=EngineConfig(
                 options=config.options,
                 grain=grain,
                 execution=config.execution,
                 tracing=False,
-            ) as engine:
+            )) as engine:
                 engine.execute(query)  # warmup: compile, pools, plan cache
                 elapsed = float("inf")
                 for lap in range(self.repeats):

@@ -63,19 +63,31 @@ class TestTracingWorkersConflict:
 
 class TestPlanCacheFastpathFlip:
     def test_execution_fastpath_flip_is_a_cache_miss(self):
-        """Flipping ExecutionOptions.fastpath must re-translate, not reuse."""
+        """Flipping ExecutionOptions.fastpath must re-translate, not reuse.
+
+        An engine is immutable once built (``close()`` is terminal), so
+        the flip happens by deriving a second engine from the first's
+        config; the cache keys must differ so neither engine could ever
+        serve the other's plan.
+        """
         store = make_store()
         with VoodooEngine(store, execution=ExecutionOptions(workers=2)) as engine:
             first = engine.query(make_query())
             assert engine.cache_info()["program_misses"] == 1
             engine.query(make_query())
             assert engine.cache_info()["program_hits"] == 1
+            flipped_config = engine.config.with_(
+                execution=engine.execution.with_(fastpath=False)
+            )
+            key_on = engine.cache_key(make_query())
 
-            engine.close()                      # drop the pooled backend
-            engine.execution = engine.execution.with_(fastpath=False)
-            second = engine.query(make_query())
-            info = engine.cache_info()
-            assert info["program_misses"] == 2, "fastpath flip reused a stale plan"
+        with VoodooEngine(store, config=flipped_config) as flipped:
+            assert flipped.cache_key(make_query()) != key_on, (
+                "fastpath flip must change the cache key"
+            )
+            second = flipped.query(make_query())
+            info = flipped.cache_info()
+            assert info["program_misses"] == 1, "fastpath flip reused a stale plan"
             assert first.rows() == second.rows()
 
     def test_compiler_fastpath_flip_changes_cache_key(self):

@@ -1,0 +1,163 @@
+"""EngineConfig: validation, the legacy-kwarg shim, and close semantics.
+
+The engine's ten loose keywords collapsed into one frozen, validated
+``EngineConfig``.  These tests pin the contract: conflicts fail in
+``validate()`` with the historic messages, the deprecation shim builds a
+config equivalent to the explicit one (identical cache keys, identical
+results), and ``close()`` is idempotent and terminal.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler import CompilerOptions, ExecutionOptions
+from repro.errors import ExecutionError
+from repro.relational import EngineConfig, VoodooEngine, parse_sql
+from repro.storage import ColumnStore, Table
+
+
+@pytest.fixture
+def store() -> ColumnStore:
+    rng = np.random.default_rng(3)
+    store = ColumnStore()
+    store.add(Table.from_arrays(
+        "t",
+        k=rng.integers(0, 8, 200).astype(np.int64),
+        v=np.round(rng.uniform(0, 1, 200), 6),
+    ))
+    return store
+
+
+def query(store):
+    return parse_sql("SELECT SUM(v) AS s FROM t WHERE k < 5", store)
+
+
+class TestValidation:
+    def test_default_config_resolves(self):
+        config = EngineConfig().resolved()
+        assert config.grain == 4096          # cpu default
+        assert config.tracing is True        # sequential, untuned
+
+    def test_gpu_grain_default(self):
+        config = EngineConfig(options=CompilerOptions(device="gpu")).resolved()
+        assert config.grain == 256
+
+    def test_parallel_resolves_untraced(self):
+        config = EngineConfig(execution=ExecutionOptions(workers=2)).resolved()
+        assert config.tracing is False
+        assert config.parallel is True
+
+    def test_bad_tuning_mode(self):
+        with pytest.raises(ExecutionError, match="tuning"):
+            EngineConfig(tuning="sometimes").validate()
+
+    def test_bad_grain(self):
+        with pytest.raises(ExecutionError, match="grain"):
+            EngineConfig(grain=0).validate()
+
+    def test_tracing_parallel_conflict(self):
+        with pytest.raises(ExecutionError, match="tracing"):
+            EngineConfig(
+                execution=ExecutionOptions(workers=2), tracing=True
+            ).validate()
+
+    def test_auto_tuning_tracing_conflict(self):
+        with pytest.raises(ExecutionError, match="tracing"):
+            EngineConfig(tuning="auto", tracing=True).validate()
+
+    def test_auto_tuning_execution_conflict(self):
+        with pytest.raises(ExecutionError, match="ExecutionOptions"):
+            EngineConfig(
+                tuning="auto", execution=ExecutionOptions(workers=2)
+            ).validate()
+
+    def test_with_replaces_fields(self):
+        config = EngineConfig(grain=64)
+        assert config.with_(grain=128).grain == 128
+        assert config.grain == 64            # frozen original untouched
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            EngineConfig().grain = 7
+
+
+class TestLegacyShim:
+    def test_legacy_kwargs_warn(self, store):
+        with pytest.warns(DeprecationWarning, match="EngineConfig"):
+            engine = VoodooEngine(store, grain=64)
+        assert engine.grain == 64
+        engine.close()
+
+    def test_positional_options_still_work(self, store):
+        with pytest.warns(DeprecationWarning):
+            engine = VoodooEngine(store, CompilerOptions(device="gpu"))
+        assert engine.options.device == "gpu"
+        assert engine.grain == 256
+        engine.close()
+
+    def test_parallelism_sugar(self, store):
+        with pytest.warns(DeprecationWarning):
+            engine = VoodooEngine(store, parallelism=2)
+        assert engine.execution is not None
+        assert engine.execution.workers == 2
+        engine.close()
+
+    def test_unknown_kwarg_rejected(self, store):
+        with pytest.raises(TypeError, match="worker_count"):
+            VoodooEngine(store, worker_count=2)
+
+    def test_config_plus_legacy_rejected(self, store):
+        with pytest.raises(ExecutionError, match="both"):
+            VoodooEngine(store, config=EngineConfig(), grain=64)
+
+    def test_shim_equivalence_cache_keys_and_results(self, store):
+        """The shim must produce an engine indistinguishable from the
+        explicit-config one: same cache keys, same results."""
+        explicit = VoodooEngine(
+            store,
+            config=EngineConfig(options=CompilerOptions(fastpath=False),
+                                grain=128),
+        )
+        with pytest.warns(DeprecationWarning):
+            legacy = VoodooEngine(
+                store, options=CompilerOptions(fastpath=False), grain=128
+            )
+        q = query(store)
+        assert explicit.cache_key(q) == legacy.cache_key(q)
+        assert explicit.config == legacy.config
+        assert explicit.query(q).rows() == legacy.query(q).rows()
+        explicit.close()
+        legacy.close()
+
+    def test_from_kwargs_matches_constructor(self):
+        execution = ExecutionOptions(workers=3)
+        assert (
+            EngineConfig.from_kwargs(parallelism=3)
+            == EngineConfig(execution=execution)
+        )
+
+
+class TestCloseSemantics:
+    def test_close_is_idempotent(self, store):
+        engine = VoodooEngine(store)
+        engine.query(query(store))
+        engine.close()
+        engine.close()                       # second close is a no-op
+        assert engine.closed is True
+
+    def test_execute_after_close_raises(self, store):
+        engine = VoodooEngine(store)
+        engine.close()
+        with pytest.raises(ExecutionError, match="closed"):
+            engine.query(query(store))
+
+    def test_prepare_after_close_raises(self, store):
+        engine = VoodooEngine(store)
+        engine.close()
+        with pytest.raises(ExecutionError, match="closed"):
+            engine.prepare(query(store))
+
+    def test_context_manager_closes(self, store):
+        with VoodooEngine(store) as engine:
+            engine.query(query(store))
+        assert engine.closed is True
