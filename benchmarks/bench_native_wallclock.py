@@ -1,0 +1,63 @@
+"""Wall-clock regression harness for the native C execution tier.
+
+Measures compiled_fused (the NumPy fused fast path) against the native
+tier — sequential and inside parallel chunk workers — on the
+selection/projection/group-by microbenchmarks and a TPC-H subset, and
+writes the trajectory to ``BENCH_native.json`` at the repo root
+(uploaded as a CI artifact so the perf history is tracked per PR).
+
+The smoke test runs small sizes with loose floors (CI machines are
+noisy, and the uniform-run fold kernels need run-aligned sizes to
+engage); the ``slow`` variant runs the acceptance sizes and enforces
+the real bars: native >= 1.3x on the selection micro and >= 1.1x on at
+least 4 TPC-H queries, with a warm serving window compiling zero
+kernels.  Both skip (rather than fail) when the host has no C compiler
+— the tier is designed to degrade, and the committed JSON comes from a
+compiler-equipped runner.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench import native_wallclock
+from repro.native import have_compiler
+
+#: the committed acceptance-run trajectory, refreshed only by the slow run
+TRAJECTORY = Path(__file__).resolve().parents[1] / "BENCH_native.json"
+#: per-CI-run smoke numbers (gitignored; small sizes, noisy runners)
+SMOKE_TRAJECTORY = TRAJECTORY.with_name("BENCH_native.smoke.json")
+
+pytestmark = pytest.mark.skipif(
+    not have_compiler(), reason="no C compiler on this host"
+)
+
+
+def test_native_wallclock_smoke():
+    results = native_wallclock.run_all(
+        n=1 << 18, scale=0.01, queries=(1, 6, 12, 19), repeats=3
+    )
+    native_wallclock.write_trajectory(results, SMOKE_TRAJECTORY)
+    print()
+    print(native_wallclock.render(results))
+    summary = results["summary"]
+    # loose floors for noisy runners: native must never *lose* badly,
+    # and a warm window must not recompile even at smoke sizes
+    assert summary["micro_selection_speedup"] >= 0.9
+    assert summary["micro_projection_speedup"] >= 0.9
+    assert summary["warm_window_recompiles"] == 0
+
+
+@pytest.mark.slow
+def test_native_wallclock_full():
+    results = native_wallclock.run_all(
+        n=1 << 20, scale=0.05,
+        queries=(1, 4, 5, 6, 8, 9, 10, 12, 14, 19), repeats=3,
+    )
+    native_wallclock.write_trajectory(results, TRAJECTORY)
+    print()
+    print(native_wallclock.render(results))
+    summary = results["summary"]
+    assert summary["micro_selection_speedup"] >= 1.3
+    assert summary["tpch_queries_at_1_1x"] >= 4
+    assert summary["warm_window_recompiles"] == 0

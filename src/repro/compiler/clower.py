@@ -1,0 +1,129 @@
+"""Shared fragment→C expression lowering.
+
+Two emitters render the compiled fragment structure as C:
+
+* :mod:`repro.compiler.opencl_emit` — the pseudo-OpenCL inspection
+  rendering (never executed);
+* :mod:`repro.native.emit` — the native CPU tier, whose output *is*
+  compiled with the system C compiler and executed over raw buffers.
+
+Both lower the same operator vocabulary, so the operator tables, the
+numpy-dtype→C-type mapping, keypath name mangling and the run/loop
+headers live here as the single source of truth.  Golden tests
+(``tests/native/test_emitter_sync.py``) pin both emitters to these
+tables so they cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.compiler.fragments import FULL
+from repro.core.keypath import Keypath
+
+#: Binary operator symbols shared by every C-flavoured emitter.  The
+#: native emitter uses these verbatim for the operators whose C semantics
+#: match NumPy exactly (comparisons, logicals, wrapping +,-,*) and emits
+#: guarded statement forms for Divide/Modulo (see repro.native.emit).
+BINARY_C = {
+    "Add": "+", "Subtract": "-", "Multiply": "*", "Divide": "/", "Modulo": "%",
+    "BitShift": "<<", "LogicalAnd": "&&", "LogicalOr": "||", "Greater": ">",
+    "GreaterEqual": ">=", "Less": "<", "LessEqual": "<=", "Equals": "==",
+    "NotEquals": "!=",
+}
+
+#: Unary operator prefixes; Cast is rendered as ``(ctype)`` by both
+#: emitters via :func:`unary_prefix`.
+UNARY_C = {"LogicalNot": "!", "Negate": "-"}
+
+#: numpy dtype code (kind + itemsize) → C scalar type.  Bools travel as
+#: uint8 (NumPy's memory layout).
+C_TYPES = {
+    "b1": "uint8_t",
+    "i1": "int8_t", "i2": "int16_t", "i4": "int32_t", "i8": "int64_t",
+    "u1": "uint8_t", "u2": "uint16_t", "u4": "uint32_t", "u8": "uint64_t",
+    "f4": "float", "f8": "double",
+}
+
+#: The sequential run loop every FULL-intent fragment and every native
+#: chain kernel iterates with.
+C_LOOP = "for (size_t i = 0; i < n; ++i) {"
+
+
+def dtype_code(dtype) -> str:
+    """``"i8"``-style code for a numpy dtype (kind + item size)."""
+    dt = np.dtype(dtype)
+    return dt.kind + str(dt.itemsize)
+
+
+def ctype_of(dtype) -> str:
+    """The C scalar type of a numpy dtype (raises KeyError if none)."""
+    return C_TYPES[dtype_code(dtype)]
+
+
+def c_name(path: Keypath | None) -> str:
+    """Mangle a keypath into a C identifier component."""
+    return "val" if path is None else "_".join(path.components)
+
+
+def unary_prefix(fn: str, dtype: str | None = None) -> str:
+    """The C prefix of a Unary operator (``Cast`` needs its target)."""
+    if fn == "Cast":
+        return f"({dtype})"
+    return UNARY_C[fn]
+
+
+def c_literal(dtype, value) -> str:
+    """A C literal with the exact value and type of a numpy constant.
+
+    Floats are rendered as hex-float literals (bit-exact round trip);
+    INT64_MIN needs the classic two-part spelling because ``-9223372…``
+    is parsed as unary minus on an out-of-range literal.
+    """
+    dt = np.dtype(dtype)
+    ct = ctype_of(dt)
+    if dt.kind == "b":
+        return "1" if value else "0"
+    if dt.kind in "iu":
+        iv = int(value)
+        if iv == -(2 ** 63):
+            return "(int64_t)(-9223372036854775807LL - 1)"
+        suffix = "ULL" if dt.kind == "u" else "LL"
+        return f"({ct})({iv}{suffix})"
+    fv = float(value)
+    if math.isnan(fv):
+        return f"({ct})NAN"
+    if math.isinf(fv):
+        return f"({ct})({'-' if fv < 0 else ''}INFINITY)"
+    return f"({ct})({fv.hex()})"
+
+
+def loop_header(intent: int) -> tuple[list[str], str, bool]:
+    """The work-item/run loop opening a fragment body.
+
+    Returns ``(lines, body_indent, needs_close)`` — the OpenCL renderer
+    and the native emitter both shape their kernels with this.
+    """
+    if intent == FULL:
+        return (
+            [
+                "  // sequential fragment: single work item",
+                "  if (get_global_id(0) != 0) return;",
+                "  " + C_LOOP,
+            ],
+            "    ",
+            True,
+        )
+    if intent > 1:
+        return (
+            [
+                f"  // partitioned fragment: runs of {intent}",
+                f"  size_t run = get_global_id(0) * {intent};",
+                f"  for (size_t i = run; i < run + {intent}; ++i) {{",
+            ],
+            "    ",
+            True,
+        )
+    return (["  size_t i = get_global_id(0);"], "  ", False)

@@ -36,6 +36,76 @@ def _kp(path: Keypath | None) -> str:
     return "None" if path is None else f"KP({str(path)!r})"
 
 
+def _classify(metadata, src: ops.Op, kp: Keypath | None, raw: set[int]):
+    """How a fused map operator reads one operand, or None if the
+    operator cannot be emitted as a raw statement."""
+    if kp is None:
+        return None
+    if isinstance(src, ops.Constant):
+        return ("const", src)
+    if id(src) in raw:
+        # a raw producer exposes exactly its `out` attribute as locals
+        return ("local", src) if kp == src.out else ("ext", src, kp)
+    if metadata.is_virtual(src):
+        return None  # keep Range/constant chains symbolic in the runtime
+    if metadata.info(src, kp) is not None:
+        return None  # control-vector metadata: the runtime derives it
+    return ("ext", src, kp)
+
+
+def plan_raw_chains(program: Program, metadata) -> tuple[dict[int, list[tuple]], set[int]]:
+    """Plan the raw map chains of a program for fused execution.
+
+    Returns ``(raw_sides, needs_fv)``: the operand classes of every
+    Binary/Unary that can run over bare ``(array, mask)`` pairs, and the
+    subset whose results re-enter the FusedVal world.  Shared by the
+    fused Python codegen below and the native C chain planner
+    (:mod:`repro.native.plan`), so both tiers agree on what "a chain" is.
+    """
+    raw: set[int] = set()
+    raw_sides: dict[int, list[tuple]] = {}
+    needs_fv: set[int] = set()
+    for node in program.order:
+        if isinstance(node, ops.Binary):
+            if metadata.is_virtual(node) or metadata.info(node, node.out) is not None:
+                continue
+            left = _classify(metadata, node.left, node.left_kp, raw)
+            right = _classify(metadata, node.right, node.right_kp, raw)
+            if left is None or right is None:
+                continue
+            if left[0] == "const" and right[0] == "const":
+                continue  # length-1 results stay in the runtime
+            raw.add(id(node))
+            raw_sides[id(node)] = [left, right]
+        elif isinstance(node, ops.Unary):
+            if metadata.is_virtual(node):
+                continue
+            source = _classify(metadata, node.source, node.source_kp, raw)
+            if source is None:
+                continue
+            raw.add(id(node))
+            raw_sides[id(node)] = [source]
+
+    # a raw node needs a FusedVal wrapper when any consumer reads it
+    # generically (or through _ext), or when it is a program output
+    for node in program.order:
+        sides = raw_sides.get(id(node))
+        for child in node.inputs():
+            if id(child) not in raw:
+                continue
+            if sides is not None and any(
+                s[0] == "local" and s[1] is child for s in sides
+            ) and not any(
+                s[0] == "ext" and s[1] is child for s in sides
+            ):
+                continue  # consumed purely as raw locals
+            needs_fv.add(id(child))
+    for out in program.outputs.values():
+        if id(out) in raw:
+            needs_fv.add(id(out))
+    return raw_sides, needs_fv
+
+
 class CodeGenerator:
     """Emits the Python source of one compiled program."""
 
@@ -50,7 +120,9 @@ class CodeGenerator:
         #: raw nodes that also need a FusedVal wrapper emitted
         self._needs_fv: set[int] = set()
         if fused:
-            self._plan_raw_chains()
+            self._raw_sides, self._needs_fv = plan_raw_chains(
+                self.program, plan.metadata
+            )
 
     def generate(self) -> str:
         entry = "__voodoo_fused__" if self.fused else "__voodoo_main__"
@@ -92,66 +164,7 @@ class CodeGenerator:
     def _ref(self, node: ops.Op) -> str:
         return self.names[id(node)]
 
-    # -- raw-chain planning (fused mode) ------------------------------------
-
-    def _classify(self, src: ops.Op, kp: Keypath | None, raw: set[int]):
-        """How a fused map operator reads one operand, or None if the
-        operator cannot be emitted as a raw statement."""
-        if kp is None:
-            return None
-        meta = self.plan.metadata
-        if isinstance(src, ops.Constant):
-            return ("const", src)
-        if id(src) in raw:
-            # a raw producer exposes exactly its `out` attribute as locals
-            return ("local", src) if kp == src.out else ("ext", src, kp)
-        if meta.is_virtual(src):
-            return None  # keep Range/constant chains symbolic in the runtime
-        if meta.info(src, kp) is not None:
-            return None  # control-vector metadata: the runtime derives it
-        return ("ext", src, kp)
-
-    def _plan_raw_chains(self) -> None:
-        meta = self.plan.metadata
-        raw: set[int] = set()
-        for node in self.program.order:
-            if isinstance(node, ops.Binary):
-                if meta.is_virtual(node) or meta.info(node, node.out) is not None:
-                    continue
-                left = self._classify(node.left, node.left_kp, raw)
-                right = self._classify(node.right, node.right_kp, raw)
-                if left is None or right is None:
-                    continue
-                if left[0] == "const" and right[0] == "const":
-                    continue  # length-1 results stay in the runtime
-                raw.add(id(node))
-                self._raw_sides[id(node)] = [left, right]
-            elif isinstance(node, ops.Unary):
-                if meta.is_virtual(node):
-                    continue
-                source = self._classify(node.source, node.source_kp, raw)
-                if source is None:
-                    continue
-                raw.add(id(node))
-                self._raw_sides[id(node)] = [source]
-
-        # a raw node needs a FusedVal wrapper when any consumer reads it
-        # generically (or through _ext), or when it is a program output
-        for node in self.program.order:
-            sides = self._raw_sides.get(id(node))
-            for child in node.inputs():
-                if id(child) not in raw:
-                    continue
-                if sides is not None and any(
-                    s[0] == "local" and s[1] is child for s in sides
-                ) and not any(
-                    s[0] == "ext" and s[1] is child for s in sides
-                ):
-                    continue  # consumed purely as raw locals
-                self._needs_fv.add(id(child))
-        for out in self.program.outputs.values():
-            if id(out) in raw:
-                self._needs_fv.add(id(out))
+    # -- raw-chain emission (fused mode) ------------------------------------
 
     def _operand(self, cls: tuple) -> str:
         kind = cls[0]

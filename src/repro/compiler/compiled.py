@@ -41,6 +41,8 @@ class CompiledProgram:
     #: raw-array kernels, no tracing — see repro.compiler.rt_fast
     fused_source: str | None = None
     fused_entry: Callable | None = None
+    #: run untraced executions on the native C tier (repro.native)
+    native: bool = False
 
     @property
     def opencl(self) -> str:
@@ -72,6 +74,13 @@ class CompiledProgram:
         outputs, an empty trace, and no accounting overhead.
         """
         if not collect_trace and self.fused_entry is not None:
+            if self.native:
+                from repro.native.runner import run_native_program
+                outputs = run_native_program(
+                    self.program, storage,
+                    virtual_scatter=self.options.virtual_scatter,
+                )
+                return dict(outputs), Trace()
             runtime = FusedRuntime(
                 storage, virtual_scatter=self.options.virtual_scatter
             )
@@ -134,9 +143,16 @@ def compile_program(
     source = generate_source(plan)
     entry = compile_source(source)
     fused_source = fused_entry = None
+    native = False
     if options.fastpath and options.fuse:
         fused_source = generate_source(plan, fused=True)
         fused_entry = compile_source(fused_source, fused=True)
+        if options.native:
+            # plan (and memoize) the chain index at compile time so the
+            # first run never pays the planning walk
+            from repro.native.runner import chain_index
+            chain_index(program, metadata)
+            native = True
     return CompiledProgram(
         program=program,
         options=options,
@@ -146,4 +162,5 @@ def compile_program(
         device=get_device(options.device),
         fused_source=fused_source,
         fused_entry=fused_entry,
+        native=native,
     )

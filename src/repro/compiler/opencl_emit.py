@@ -9,20 +9,11 @@ the work-item index; seams become ``__global`` buffer writes.
 
 from __future__ import annotations
 
-from repro.compiler.fragments import FULL, FragmentPlan
+from repro.compiler.clower import BINARY_C as _BINARY_C
+from repro.compiler.clower import c_name as _c_name
+from repro.compiler.clower import loop_header, unary_prefix
+from repro.compiler.fragments import FragmentPlan
 from repro.core import ops
-from repro.core.keypath import Keypath
-
-_BINARY_C = {
-    "Add": "+", "Subtract": "-", "Multiply": "*", "Divide": "/", "Modulo": "%",
-    "BitShift": "<<", "LogicalAnd": "&&", "LogicalOr": "||", "Greater": ">",
-    "GreaterEqual": ">=", "Less": "<", "LessEqual": "<=", "Equals": "==",
-    "NotEquals": "!=",
-}
-
-
-def _c_name(path: Keypath | None) -> str:
-    return "val" if path is None else "_".join(path.components)
 
 
 class OpenCLEmitter:
@@ -42,26 +33,14 @@ class OpenCLEmitter:
 
     def _emit_fragment(self, fragment) -> str:
         header = self._signature(fragment)
-        body: list[str] = []
-        if fragment.intent == FULL:
-            body.append("  // sequential fragment: single work item")
-            body.append("  if (get_global_id(0) != 0) return;")
-            body.append("  for (size_t i = 0; i < n; ++i) {")
-            indent = "    "
-        elif fragment.intent > 1:
-            body.append(f"  // partitioned fragment: runs of {fragment.intent}")
-            body.append(f"  size_t run = get_global_id(0) * {fragment.intent};")
-            body.append(f"  for (size_t i = run; i < run + {fragment.intent}; ++i) {{")
-            indent = "    "
-        else:
-            body.append("  size_t i = get_global_id(0);")
-            indent = "  "
+        body, indent, needs_close = loop_header(fragment.intent)
+        body = list(body)
         for node in fragment.nodes:
             body.extend(indent + line for line in self._emit_node(node))
             if self.plan.is_materialized(node):
                 name = self.names[id(node)]
                 body.append(f"{indent}out_{name}[i] = {name};  // fragment seam")
-        if fragment.intent != 1:
+        if needs_close:
             body.append("  }")
         return header + " {\n" + "\n".join(body) + "\n}"
 
@@ -93,7 +72,7 @@ class OpenCLEmitter:
                 f"{op} {self._ref(node.right)}.{_c_name(node.right_kp)};"
             ]
         if isinstance(node, ops.Unary):
-            fn = {"LogicalNot": "!", "Negate": "-", "Cast": f"({node.dtype})"}[node.fn]
+            fn = unary_prefix(node.fn, node.dtype)
             return [f"auto {name} = {fn}{self._ref(node.source)}.{_c_name(node.source_kp)};"]
         if isinstance(node, ops.Gather):
             return [

@@ -45,6 +45,14 @@ class CompilerOptions:
     parallel_grain:
         Default intent for folds whose control vector carries no static
         metadata; ``None`` lets the backend pick per device.
+    native:
+        Execute untraced runs on the native CPU tier
+        (:mod:`repro.native`): map chains and uniform-run folds are
+        lowered to C, compiled with the system compiler through an
+        on-disk ``.so`` cache, and called over the raw column buffers.
+        Bit-identical to the fused path; degrades to it per kernel when
+        the machine has no compiler or a dtype is not servable.
+        Requires ``fastpath``/``fuse`` (off otherwise, like fastpath).
     """
 
     device: str = "cpu-mt"
@@ -54,6 +62,7 @@ class CompilerOptions:
     fuse: bool = True
     fastpath: bool = True
     parallel_grain: int | None = None
+    native: bool = False
 
     def __post_init__(self) -> None:
         if self.selection not in SELECTION_STRATEGIES:
@@ -97,12 +106,19 @@ class ExecutionOptions:
     ``Range``, rebased ``FoldSelect``) at the requested granularity.
     Results are bit-identical at every grain: the planner only chunks
     exactly-associative merges.
+
+    ``native`` composes the native C tier with the parallel backend the
+    same way ``fastpath`` composes fusion: chunk workers (and the
+    global/sequential zones) evaluate through the native runner, so
+    native × multicore multiply.  Takes effect only when ``fastpath``
+    is effective; bit-identical either way.
     """
 
     workers: int = 1
     pool: str = "thread"
     fastpath: bool = True
     parallel_grain: int | None = None
+    native: bool = False
 
     def __post_init__(self) -> None:
         if self.workers < 1:

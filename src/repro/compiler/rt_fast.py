@@ -315,7 +315,7 @@ class FusedRuntime:
         # high hit density the direct gather's streaming access wins —
         # both kernels are bit-identical, this is purely a cost choice
         if pos_mask is not None and np.count_nonzero(pos_mask) * 2 < len(pos):
-            out_cols, out_masks = kernels.gather_compacted(
+            out_cols, out_masks = self._gather_compacted(
                 pos, pos_mask, source.length, cols, masks
             )
         else:
@@ -379,6 +379,14 @@ class FusedRuntime:
 
     # -- folds --------------------------------------------------------------
 
+    # uniform-run kernel hooks: the native tier
+    # (:class:`repro.native.runner.NativeFusedRuntime`) overrides these
+    # with C kernels; everything else about the fold methods is shared
+    _fold_select_uniform = staticmethod(kernels.fold_select_uniform)
+    _fold_aggregate_uniform = staticmethod(kernels.fold_aggregate_uniform)
+    _fold_count_uniform = staticmethod(kernels.fold_count_uniform)
+    _gather_compacted = staticmethod(kernels.gather_compacted)
+
     def _control_arrays(self, val: FusedVal, fold_kp: Keypath | None, n: int):
         """(control, control_present, static_run_length) — mirrors
         :meth:`Runtime._control_arrays` without the read accounting."""
@@ -402,7 +410,7 @@ class FusedRuntime:
         control, cmask, static_rl = self._control_arrays(val, fold_kp, n)
         sel, sel_mask = extract(val, sel_kp)
         if control is None:
-            values, present = kernels.fold_select_uniform(
+            values, present = self._fold_select_uniform(
                 sel, sel_mask, static_rl or 0, n
             )
         else:
@@ -417,7 +425,7 @@ class FusedRuntime:
         control, cmask, static_rl = self._control_arrays(val, fold_kp, n)
         values, mask = extract(val, agg_kp)
         if control is None:
-            result, present = kernels.fold_aggregate_uniform(
+            result, present = self._fold_aggregate_uniform(
                 fn, values, mask, static_rl or 0, n
             )
         else:
@@ -497,7 +505,7 @@ class FusedRuntime:
         control, cmask, static_rl = self._control_arrays(val, fold_kp, n)
         counted_mask = None if kp is None else val.mask(kp)
         if control is None:
-            result, present = kernels.fold_count_uniform(
+            result, present = self._fold_count_uniform(
                 counted_mask, static_rl or 0, n
             )
         else:

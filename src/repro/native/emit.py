@@ -1,0 +1,337 @@
+"""C source generation for the native tier.
+
+Two kinds of source come out of here, both compiled through
+:mod:`repro.native.jit`:
+
+* :func:`chain_source` — one kernel per (chain, input-signature)
+  specialization: a single ``for`` loop computing every step of a raw
+  map chain over the input buffers.  Values only — presence masks never
+  influence values (``IsPresent`` is excluded from chains), so masks are
+  combined on the Python side with the exact shared-mask semantics of
+  :func:`repro.compiler.rt_fast.fused_binary`.
+* :func:`fold_library_source` — the fixed library of uniform-run fold
+  kernels mirroring :mod:`repro.compiler.kernels` (sequential float
+  accumulation order preserved; compiled once per machine, ever).
+
+Bit-identity notes baked into the lowering: signed overflow wraps
+(``-fwrapv``), ``Divide``/``Modulo`` replicate NumPy's zero-guard and
+flooring exactly (including the ``INT_MIN / -1`` wrap), comparisons
+promote through ``np.result_type``, and float expressions are emitted in
+NumPy's evaluation order — the compiler may not reorder them without
+``-ffast-math``, which we never pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compiler.clower import BINARY_C, C_LOOP, c_literal, ctype_of
+
+_HEADER = "#include <stdint.h>\n#include <stddef.h>\n#include <math.h>\n"
+
+_COMPARISONS = frozenset(
+    {"Greater", "GreaterEqual", "Less", "LessEqual", "Equals", "NotEquals"}
+)
+_LOGICALS = frozenset({"LogicalAnd", "LogicalOr"})
+_WRAPPING = frozenset({"Add", "Subtract", "Multiply"})
+
+
+class EmitError(Exception):
+    """The chain cannot be lowered for this input signature."""
+
+
+def _operand(ref, in_scalar, in_dtypes, step_dtypes):
+    """(C expression, numpy dtype) of one step operand."""
+    kind = ref[0]
+    if kind == "in":
+        k = ref[1]
+        return (f"in{k}" if in_scalar[k] else f"in{k}[i]"), in_dtypes[k]
+    if kind == "step":
+        return f"v{ref[1]}", step_dtypes[ref[1]]
+    _, dtype, value = ref
+    return c_literal(dtype, value), np.dtype(dtype)
+
+
+def _binary_stmts(j, fn, a, adt, b, bdt, out_dtype):
+    """C statements assigning ``v{j}`` with NumPy-exact semantics."""
+    if fn in _COMPARISONS:
+        ct = ctype_of(np.result_type(adt, bdt))
+        return [f"uint8_t v{j} = (({ct})({a}) {BINARY_C[fn]} ({ct})({b}));"]
+    if fn in _LOGICALS:
+        return [f"uint8_t v{j} = ((({a}) != 0) {BINARY_C[fn]} (({b}) != 0));"]
+    ot = ctype_of(out_dtype)
+    if fn in _WRAPPING:
+        return [f"{ot} v{j} = ({ot})((({ot})({a})) {BINARY_C[fn]} (({ot})({b})));"]
+    if fn == "Divide":
+        lines = [f"{ot} a{j} = ({ot})({a});", f"{ot} b{j} = ({ot})({b});"]
+        if out_dtype.kind == "f":
+            # np.where(b == 0, 0.0, a / b) in the promoted dtype
+            lines.append(
+                f"{ot} v{j} = (b{j} == 0) ? ({ot})0 : ({ot})(a{j} / b{j});"
+            )
+            return lines
+        # floored a // np.where(b == 0, 1, b); INT_MIN / -1 wraps to itself
+        lines.append(f"{ot} v{j};")
+        lines.append(f"if (b{j} == 0) v{j} = a{j};")
+        if out_dtype.kind == "i":
+            lines.append(f"else if (b{j} == ({ot})-1) v{j} = ({ot})(-a{j});")
+            lines.append(
+                f"else {{ v{j} = a{j} / b{j}; "
+                f"if ((a{j} % b{j} != 0) && ((a{j} < 0) != (b{j} < 0))) "
+                f"v{j} -= 1; }}"
+            )
+        else:
+            lines.append(f"else v{j} = a{j} / b{j};")
+        return lines
+    if fn == "Modulo":
+        if out_dtype.kind == "f":
+            raise EmitError("float-modulo")
+        lines = [
+            f"{ot} a{j} = ({ot})({a});",
+            f"{ot} b{j} = ({ot})({b});",
+            f"{ot} d{j} = (b{j} == 0) ? ({ot})1 : b{j};",
+            f"{ot} v{j};",
+        ]
+        if out_dtype.kind == "i":
+            # floored modulo: result takes the divisor's sign
+            lines.append(f"if (d{j} == ({ot})-1) v{j} = 0;")
+            lines.append(
+                f"else {{ v{j} = a{j} % d{j}; "
+                f"if (v{j} != 0 && ((v{j} < 0) != (d{j} < 0))) v{j} += d{j}; }}"
+            )
+        else:
+            lines.append(f"v{j} = a{j} % d{j};")
+        return lines
+    raise EmitError(f"binary-{fn}")
+
+
+def _unary_stmts(j, fn, a, adt, out_dtype):
+    if fn == "LogicalNot":
+        return [f"uint8_t v{j} = (({a}) == 0);"]
+    ot = ctype_of(out_dtype)
+    if fn == "Negate":
+        return [f"{ot} v{j} = ({ot})(-(({ot})({a})));"]
+    if fn == "Cast":
+        if out_dtype.kind == "b":
+            return [f"uint8_t v{j} = (({a}) != 0);"]
+        return [f"{ot} v{j} = ({ot})({a});"]
+    raise EmitError(f"unary-{fn}")
+
+
+def chain_source(chain, in_dtypes, in_scalar, step_dtypes) -> str:
+    """The specialized C kernel of one chain.
+
+    ``in_dtypes``/``in_scalar`` describe the call signature;
+    ``step_dtypes`` are the result dtypes the Python fallback produced on
+    a zero-length probe (so C agrees with NumPy's promotion for free).
+    Raises :class:`EmitError` for signatures the lowering cannot serve.
+    """
+    for dt in list(in_dtypes) + list(step_dtypes):
+        code = dt.kind + str(dt.itemsize)
+        if code == "u8":
+            # NumPy 2.x compares int64 vs uint64 exactly; C cannot
+            raise EmitError("dtype-uint64")
+        if code not in ("b1", "i1", "i2", "i4", "i8", "u1", "u2", "u4", "f4", "f8"):
+            raise EmitError(f"dtype-{dt.name}")
+
+    params = []
+    for k, dt in enumerate(in_dtypes):
+        ct = ctype_of(dt)
+        params.append(f"{ct} in{k}" if in_scalar[k] else f"const {ct}* in{k}")
+    for j in sorted(chain.outputs):
+        params.append(f"{ctype_of(step_dtypes[j])}* out{j}")
+    params.append("size_t n")
+
+    body = []
+    for j, step in enumerate(chain.steps):
+        ops_ = [
+            _operand(r, in_scalar, in_dtypes, step_dtypes) for r in step.refs
+        ]
+        if step.kind == "binary":
+            (a, adt), (b, bdt) = ops_
+            body.extend(_binary_stmts(j, step.fn, a, adt, b, bdt, step_dtypes[j]))
+        else:
+            ((a, adt),) = ops_
+            body.extend(_unary_stmts(j, step.fn, a, adt, step_dtypes[j]))
+    for j in sorted(chain.outputs):
+        body.append(f"out{j}[i] = v{j};")
+
+    lines = [
+        _HEADER,
+        "// native chain kernel emitted by repro.native.emit",
+        f"void voodoo_chain({', '.join(params)}) {{",
+        "  " + C_LOOP,
+    ]
+    lines.extend("    " + stmt for stmt in body)
+    lines.append("  }")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+# ------------------------------------------------------ fold kernel library
+
+#: dtypes a native fold_select predicate may have
+SEL_CODES = ("b1", "i1", "i2", "i4", "i8", "u1", "u2", "u4", "f4", "f8")
+#: float sum value dtypes (double accumulator, like np.bincount)
+FSUM_F_CODES = ("f4", "f8")
+#: integer/bool sum value dtypes (int64 accumulator, wrapping)
+FSUM_I_CODES = ("b1", "i1", "i2", "i4", "i8", "u1", "u2", "u4")
+#: min/max value dtypes (floats excluded: NaN ordering is NumPy's job)
+FMINMAX_CODES = ("i1", "i2", "i4", "i8", "u1", "u2", "u4")
+
+_CODE_CT = {
+    "b1": "uint8_t", "i1": "int8_t", "i2": "int16_t", "i4": "int32_t",
+    "i8": "int64_t", "u1": "uint8_t", "u2": "uint16_t", "u4": "uint32_t",
+    "f4": "float", "f8": "double",
+}
+
+
+def _fsel(code: str) -> str:
+    t = _CODE_CT[code]
+    return f"""
+void fsel_{code}(const {t}* sel, const uint8_t* mask, int64_t L, int64_t n,
+                 int64_t* out, uint8_t* present) {{
+  if (L <= 0) L = n;
+  for (int64_t s = 0; s < n; s += L) {{
+    int64_t end = s + L < n ? s + L : n;
+    int64_t k = s;
+    if (mask) {{
+      for (int64_t i = s; i < end; ++i)
+        if (sel[i] != 0 && mask[i]) {{ out[k] = i; present[k] = 1; ++k; }}
+    }} else {{
+      for (int64_t i = s; i < end; ++i)
+        if (sel[i] != 0) {{ out[k] = i; present[k] = 1; ++k; }}
+    }}
+  }}
+}}
+"""
+
+
+def _fsum_f(code: str) -> str:
+    t = _CODE_CT[code]
+    return f"""
+void fsumf_{code}(const {t}* vals, const uint8_t* mask, int64_t L, int64_t n,
+                  double* out, uint8_t* present) {{
+  if (L <= 0) L = n;
+  for (int64_t s = 0; s < n; s += L) {{
+    int64_t end = s + L < n ? s + L : n;
+    double acc = 0.0;
+    uint8_t any = 0;
+    if (mask) {{
+      for (int64_t i = s; i < end; ++i)
+        if (mask[i]) {{ acc += (double)vals[i]; any = 1; }}
+    }} else {{
+      for (int64_t i = s; i < end; ++i) acc += (double)vals[i];
+      any = (end > s);
+    }}
+    out[s] = acc;
+    present[s] = any;
+  }}
+}}
+"""
+
+
+def _fsum_i(code: str) -> str:
+    t = _CODE_CT[code]
+    return f"""
+void fsumi_{code}(const {t}* vals, const uint8_t* mask, int64_t L, int64_t n,
+                  int64_t* out, uint8_t* present) {{
+  if (L <= 0) L = n;
+  for (int64_t s = 0; s < n; s += L) {{
+    int64_t end = s + L < n ? s + L : n;
+    int64_t acc = 0;
+    uint8_t any = 0;
+    if (mask) {{
+      for (int64_t i = s; i < end; ++i)
+        if (mask[i]) {{ acc += (int64_t)vals[i]; any = 1; }}
+    }} else {{
+      for (int64_t i = s; i < end; ++i) acc += (int64_t)vals[i];
+      any = (end > s);
+    }}
+    out[s] = acc;
+    present[s] = any;
+  }}
+}}
+"""
+
+
+def _fminmax(code: str, kind: str) -> str:
+    t = _CODE_CT[code]
+    cmp = ">" if kind == "max" else "<"
+    return f"""
+void f{kind}_{code}(const {t}* vals, const uint8_t* mask, int64_t L, int64_t n,
+                    {t}* out, uint8_t* present, {t} fill) {{
+  if (L <= 0) L = n;
+  for (int64_t s = 0; s < n; s += L) {{
+    int64_t end = s + L < n ? s + L : n;
+    {t} acc = fill;
+    uint8_t any = 0;
+    if (mask) {{
+      for (int64_t i = s; i < end; ++i) {{
+        {t} v = mask[i] ? vals[i] : fill;
+        if (v {cmp} acc) acc = v;
+        any |= mask[i];
+      }}
+    }} else {{
+      for (int64_t i = s; i < end; ++i)
+        if (vals[i] {cmp} acc) acc = vals[i];
+      any = (end > s);
+    }}
+    out[s] = acc;
+    present[s] = any;
+  }}
+}}
+"""
+
+
+#: column dtypes the native compacted gather serves
+GATH_CODES = ("b1", "i1", "i2", "i4", "i8", "u1", "u2", "u4", "u8", "f4", "f8")
+
+_CODE_CT_GATH = dict(_CODE_CT, u8="uint64_t")
+
+
+def _fgath(code: str) -> str:
+    t = _CODE_CT_GATH[code]
+    return f"""
+void fgath_{code}(const int64_t* pos, const uint8_t* present, int64_t n,
+                  int64_t src_len, const {t}* col, const uint8_t* colmask,
+                  {t}* out, uint8_t* outmask) {{
+  for (int64_t i = 0; i < n; ++i) {{
+    if (present[i]) {{
+      int64_t p = pos[i];
+      if (p >= 0 && p < src_len) {{
+        out[i] = col[p];
+        outmask[i] = colmask ? colmask[p] : 1;
+      }}
+    }}
+  }}
+}}
+"""
+
+
+_FCNT = """
+void fcnt(const uint8_t* mask, int64_t L, int64_t n,
+          int64_t* out, uint8_t* present) {
+  if (L <= 0) L = n;
+  for (int64_t s = 0; s < n; s += L) {
+    int64_t end = s + L < n ? s + L : n;
+    int64_t c = 0;
+    for (int64_t i = s; i < end; ++i) c += mask[i];
+    out[s] = c;
+    present[s] = (c > 0);
+  }
+}
+"""
+
+
+def fold_library_source() -> str:
+    """The full uniform-run fold kernel library, one fixed source."""
+    parts = [_HEADER, "// native fold kernels emitted by repro.native.emit"]
+    parts.extend(_fsel(c) for c in SEL_CODES)
+    parts.extend(_fsum_f(c) for c in FSUM_F_CODES)
+    parts.extend(_fsum_i(c) for c in FSUM_I_CODES)
+    parts.extend(_fminmax(c, "max") for c in FMINMAX_CODES)
+    parts.extend(_fminmax(c, "min") for c in FMINMAX_CODES)
+    parts.extend(_fgath(c) for c in GATH_CODES)
+    parts.append(_FCNT)
+    return "".join(parts)

@@ -1,0 +1,126 @@
+"""Runtime C compilation with an on-disk shared-object cache.
+
+Kernels are compiled with the system C compiler (``$CC`` or the first
+of ``cc``/``gcc``/``clang`` on PATH) into per-source shared objects
+keyed by the SHA-256 of the source text.  The key is content-addressed,
+so a recompile only ever happens for source the machine has never seen:
+steady-state serving loads everything from the in-memory registry or
+the disk cache (``$REPRO_NATIVE_CACHE``, default
+``~/.cache/voodoo-native``) and compiles nothing.
+
+No compiler, a broken ``$CC``, or a failed compile all raise
+:class:`NativeCompileError`; callers degrade to the fused NumPy path
+and the fallback is counted in :mod:`repro.native.stats`.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import os
+import shlex
+import shutil
+import subprocess
+import tempfile
+import threading
+from hashlib import sha256
+from pathlib import Path
+
+from repro.native.stats import STATS
+
+#: Flags for every kernel: ``-fwrapv`` makes signed overflow wrap like
+#: NumPy's fixed-width integers instead of being undefined behaviour.
+CFLAGS = ("-O3", "-fPIC", "-shared", "-fwrapv")
+
+_lock = threading.Lock()
+#: source hash -> loaded CDLL (process-wide; .so files are immutable)
+_loaded: dict[str, ctypes.CDLL] = {}
+
+
+class NativeCompileError(RuntimeError):
+    """The machine cannot compile or load a native kernel."""
+
+
+def find_compiler() -> list[str] | None:
+    """The C compiler argv prefix, or None when the machine has none.
+
+    ``$CC`` wins when set (and must resolve — a bogus path means "no
+    compiler", which is how tests force the fallback path).
+    """
+    cc = os.environ.get("CC")
+    if cc:
+        argv = shlex.split(cc)
+        return argv if argv and shutil.which(argv[0]) else None
+    for name in ("cc", "gcc", "clang"):
+        path = shutil.which(name)
+        if path:
+            return [path]
+    return None
+
+
+def have_compiler() -> bool:
+    return find_compiler() is not None
+
+
+def cache_dir() -> Path:
+    """The on-disk .so cache root (``$REPRO_NATIVE_CACHE`` overrides)."""
+    override = os.environ.get("REPRO_NATIVE_CACHE")
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "voodoo-native"
+
+
+def source_key(source: str) -> str:
+    return sha256(source.encode()).hexdigest()[:24]
+
+
+def _compile(source: str, out: Path) -> None:
+    compiler = find_compiler()
+    if compiler is None:
+        raise NativeCompileError("no C compiler available (set $CC or install cc)")
+    out.parent.mkdir(parents=True, exist_ok=True)
+    src = out.with_suffix(".c")
+    src.write_text(source)
+    fd, tmp = tempfile.mkstemp(suffix=".so", dir=str(out.parent))
+    os.close(fd)
+    try:
+        proc = subprocess.run(
+            [*compiler, *CFLAGS, "-o", tmp, str(src)],
+            capture_output=True,
+            text=True,
+        )
+        if proc.returncode != 0:
+            raise NativeCompileError(
+                f"{compiler[0]} failed ({proc.returncode}): {proc.stderr.strip()[:500]}"
+            )
+        os.replace(tmp, out)  # atomic: concurrent compiles race benignly
+    except OSError as exc:
+        raise NativeCompileError(f"cannot run {compiler[0]}: {exc}") from exc
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+
+
+def load_library(source: str) -> ctypes.CDLL:
+    """The loaded shared object for a C source, compiling at most once.
+
+    Resolution order: in-memory registry (``memory_hits``), on-disk .so
+    (``so_cache_hits``), fresh compile (``kernels_compiled``).
+    """
+    key = source_key(source)
+    with _lock:
+        lib = _loaded.get(key)
+        if lib is not None:
+            STATS.count("memory_hits")
+            return lib
+        path = cache_dir() / f"{key}.so"
+        if path.exists():
+            STATS.count("so_cache_hits")
+        else:
+            _compile(source, path)
+            STATS.count("kernels_compiled")
+        try:
+            lib = ctypes.CDLL(str(path))
+        except OSError as exc:
+            raise NativeCompileError(f"cannot load {path}: {exc}") from exc
+        _loaded[key] = lib
+        return lib

@@ -206,6 +206,12 @@ class ParallelInterpreter:
         chunks: on a single effective core the chunks run inline, at
         exactly the same boundaries, with ``Range`` starts and
         ``FoldSelect`` positions rebased identically.
+    native:
+        Evaluate the fused zones — per-chunk and sequential — through
+        the native C tier (:mod:`repro.native`): chain kernels and
+        uniform-run folds run as compiled code, degrading per kernel to
+        the NumPy fused path.  Only meaningful with ``fastpath``
+        (ignored otherwise); outputs stay bit-identical.
 
     The underlying worker pool is persistent: created on first parallel
     ``run()``, reused by every later one.  ``close()`` (or ``with``)
@@ -220,6 +226,7 @@ class ParallelInterpreter:
         pool: str = "thread",
         fastpath: bool = True,
         grain: int | None = None,
+        native: bool = False,
     ):
         if pool not in POOL_KINDS:
             raise ExecutionError(f"pool must be one of {POOL_KINDS}, got {pool!r}")
@@ -232,6 +239,7 @@ class ParallelInterpreter:
         self.pool = pool
         self.fastpath = fastpath
         self.grain = grain
+        self.native = bool(native) and fastpath
         #: hardware threads actually available; with one core the chunked
         #: zones still execute chunk-by-chunk (same plans, same offsets,
         #: same merges — the correctness path stays exercised) but inline,
@@ -371,9 +379,17 @@ class ParallelInterpreter:
                 self._storage[node.name] = outputs[node.name]
         return outputs
 
+    def _make_runner(self, program: Program) -> FusedProgramRunner:
+        """The fused whole-program runner — native-accelerated on demand."""
+        if self.native:
+            from repro.native.runner import NativeProgramRunner
+
+            return NativeProgramRunner(program, self._storage)
+        return FusedProgramRunner(program, self._storage)
+
     def _run_sequential_fused(self, program: Program) -> dict[str, StructuredVector]:
         """Whole-program fused evaluation (the single-core fast path)."""
-        runner = FusedProgramRunner(program, self._storage)
+        runner = self._make_runner(program)
         values: dict[int, FusedVal] = {}
         for node in program.order:
             values[id(node)] = runner.eval(node, values)
@@ -443,7 +459,7 @@ class ParallelInterpreter:
     ) -> dict[str, StructuredVector]:
         """The composed fast path: fused kernels inside every zone."""
         order = program.order
-        runner = FusedProgramRunner(program, self._storage)
+        runner = self._make_runner(program)
         values: dict[int, FusedVal] = {}
 
         # 1. GLOBAL zone, fused, computed once.
@@ -593,7 +609,7 @@ class ParallelInterpreter:
             return [
                 run_fused_chunk(
                     program, chunk_indices, plan.frontier, seeded,
-                    plan.driving, lo, hi, plan.extent,
+                    plan.driving, lo, hi, plan.extent, native=self.native,
                 )
                 for lo, hi, seeded in tasks
             ]
@@ -609,6 +625,7 @@ class ParallelInterpreter:
                 lo,
                 hi,
                 plan.extent,
+                native=self.native,
             )
             for lo, hi, seeded in tasks
         ]

@@ -96,12 +96,16 @@ class FusedProgramRunner:
     """
 
     _dispatch: dict[type, object] | None = None
+    #: the runtime to instantiate — the native tier substitutes its own
+    runtime_class = FusedRuntime
 
     def __init__(self, program: Program, storage: Mapping[str, StructuredVector]
                  | None = None, virtual_scatter: bool = True,
                  keep_virtual: frozenset | None = None):
         self.program = program
-        self.rt = FusedRuntime(dict(storage or {}), virtual_scatter=virtual_scatter)
+        self.rt = self.runtime_class(
+            dict(storage or {}), virtual_scatter=virtual_scatter
+        )
         if keep_virtual is not None:
             self._keep_virtual = keep_virtual
         else:
@@ -377,6 +381,7 @@ def run_fused_chunk(
     lo: int,
     hi: int,
     extent: int,
+    native: bool = False,
 ) -> dict[int, FusedVal]:
     """Worker body: evaluate the chunk subgraph fused, return frontier values.
 
@@ -385,7 +390,12 @@ def run_fused_chunk(
     """
     order = program.order
     chunked_ids = frozenset(id(order[i]) for i in chunk_indices)
-    runner = FusedChunkRunner(
+    if native:
+        from repro.native.runner import NativeChunkRunner
+        runner_class = NativeChunkRunner
+    else:
+        runner_class = FusedChunkRunner
+    runner = runner_class(
         program,
         driving_slice=seeded[driving],
         driving_id=id(order[driving]),

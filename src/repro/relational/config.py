@@ -45,6 +45,14 @@ class EngineConfig:
         parallel or auto-tuned ones.
     plan_cache:
         Memoize compiled plans / translated programs per query structure.
+    native:
+        Convenience switch for the native C execution tier: ``True``
+        sets ``options.native`` and (when ``execution`` is present)
+        ``execution.native`` in one go, so untraced sequential runs and
+        parallel chunk workers all execute compiled chain/fold kernels.
+        ``None`` (default) leaves whatever the nested options say;
+        ``False`` forces the tier off in both.  Incompatible with
+        ``tuning="auto"`` — the tuner explores the native axis itself.
     tuning:
         ``"off"`` (static knobs) or ``"auto"`` (the adaptive tuner picks
         per query; ``execution`` must then be left unset).
@@ -59,6 +67,7 @@ class EngineConfig:
     options: CompilerOptions = field(default_factory=CompilerOptions)
     grain: int | None = None
     execution: ExecutionOptions | None = None
+    native: bool | None = None
     tracing: bool | None = None
     plan_cache: bool = True
     tuning: str = "off"
@@ -95,6 +104,11 @@ class EngineConfig:
                 "execution=/parallelism= argument (or pin the knobs with "
                 "tuning=\"off\")."
             )
+        if self.tuning == "auto" and self.native is not None:
+            raise ExecutionError(
+                "tuning=\"auto\" explores the native tier itself; drop "
+                "native= (or pin the knobs with tuning=\"off\")."
+            )
         return self
 
     def resolved(self) -> "EngineConfig":
@@ -109,7 +123,15 @@ class EngineConfig:
         tracing = self.tracing
         if tracing is None:
             tracing = not self.parallel and self.tuning == "off"
-        return replace(self, grain=grain, tracing=tracing).validate()
+        options, execution = self.options, self.execution
+        if self.native is not None:
+            options = options.with_(native=self.native)
+            if execution is not None:
+                execution = execution.with_(native=self.native)
+        return replace(
+            self, grain=grain, tracing=tracing,
+            options=options, execution=execution,
+        ).validate()
 
     def with_(self, **changes) -> "EngineConfig":
         """A copy with the given fields replaced."""

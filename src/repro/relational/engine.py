@@ -258,6 +258,14 @@ class VoodooEngine:
         if self.tuning == "auto" and self._tuner is not None:
             info.update(self._tuner.cache.info())
             info["tuned_decisions"] = len(self._tuned_decisions)
+        if self.options.native or (
+            self.execution is not None and self.execution.native
+        ):
+            from repro.native import snapshot
+
+            for key, value in snapshot().items():
+                if key != "fallback_reasons":  # keep the dict flat (ints only)
+                    info[f"native_{key}"] = value
         return info
 
     def clear_plan_cache(self) -> None:
@@ -446,12 +454,16 @@ class VoodooEngine:
                 pool=self.execution.pool,
                 fastpath=fastpath,
                 grain=self.execution.parallel_grain or self.options.parallel_grain,
+                native=fastpath and self.execution.native,
             )
         backend = self._parallel_backend
         backend.reset_storage(self.vectors())
         outputs = backend.run(self._translate_cached(query))
         table = self._extract(query, outputs["result"])
-        mode = "fused" if backend.fastpath else "interpreted"
+        if backend.native:
+            mode = "native"
+        else:
+            mode = "fused" if backend.fastpath else "interpreted"
         return QueryResult(
             table=table,
             trace=Trace(),

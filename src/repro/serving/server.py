@@ -111,10 +111,16 @@ class VoodooServer:
         return {"status": "ok", "uptime_s": round(time.time() - self.started, 3)}
 
     async def _op_stats(self, payload: dict) -> dict:
+        from repro.native import snapshot
+
         return {
             "scheduler": self.scheduler.stats(),
             "sessions": self.sessions.stats(),
             "engines": self.catalog.cache_info(),
+            # process-wide native-tier counters (kernels compiled, .so
+            # cache hits, per-kernel fallbacks) — a warm serving window
+            # must show kernels_compiled flat between polls
+            "native": snapshot(),
             "requests": self.requests,
         }
 

@@ -52,6 +52,8 @@ class BackendConfig:
     options: CompilerOptions = CompilerOptions()
     workers: int = 1
     exec_fastpath: bool = True
+    #: run chunk workers through the native C tier (composes with workers)
+    exec_native: bool = False
     tracing: bool | None = None
     #: run through the adaptive auto-tuner (``tuning="auto"``): whatever
     #: configuration the tuner picks for this case must still bit-match
@@ -70,8 +72,12 @@ class BackendConfig:
             return VoodooEngine(store, config=EngineConfig(
                 grain=grain, tuning="auto", tuner=tuner))
         execution = None
-        if self.workers > 1 or not self.exec_fastpath:
-            execution = ExecutionOptions(workers=self.workers, fastpath=self.exec_fastpath)
+        if self.workers > 1 or not self.exec_fastpath or self.exec_native:
+            execution = ExecutionOptions(
+                workers=self.workers,
+                fastpath=self.exec_fastpath,
+                native=self.exec_native,
+            )
         return VoodooEngine(store, config=EngineConfig(
             options=self.options,
             grain=grain,
@@ -93,7 +99,10 @@ BACKEND_GRID: tuple[BackendConfig, ...] = (
                   tracing=True),
     BackendConfig("fused-fastpath", CompilerOptions(), tracing=False),
     BackendConfig("untraced-no-fastpath", CompilerOptions(fastpath=False), tracing=False),
+    BackendConfig("native", CompilerOptions(native=True), tracing=False),
     BackendConfig("parallel-w2-fused", CompilerOptions(), workers=2),
+    BackendConfig("parallel-w2-native", CompilerOptions(native=True), workers=2,
+                  exec_native=True),
     BackendConfig("parallel-w2-interp", CompilerOptions(), workers=2,
                   exec_fastpath=False),
     BackendConfig("parallel-w4-fused", CompilerOptions(), workers=4),

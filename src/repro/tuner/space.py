@@ -21,6 +21,7 @@ knob                 paper section    search range
 ``workers``          2.2 / 5.3        1, 2, 4, ``cpu_count``
 ``pool``             (this repro)     ``thread`` | ``process``
 ``parallel_grain``   2.2 / 4 (F.4)    None (one chunk/worker) + sweep
+``native``           4 (OpenCL)       C tier on | off (× sequential/parallel)
 ===================  ===============  ==================================
 
 Note what is *not* here: the translator's control-vector ``grain``.
@@ -50,10 +51,16 @@ class TunedConfig:
     def workers(self) -> int:
         return self.execution.workers
 
+    @property
+    def native(self) -> bool:
+        return self.options.native or self.execution.native
+
     def describe(self) -> str:
         """Compact human-readable label (for reports and bench JSON)."""
         parts = [self.options.selection]
         parts.append("fused" if self.options.fuse else "op-at-a-time")
+        if self.native:
+            parts.append("native")
         if self.options.fuse and not self.options.fastpath:
             parts.append("no-fastpath")
         if not self.options.virtual_scatter:
@@ -76,12 +83,14 @@ class TunedConfig:
                 "fuse": self.options.fuse,
                 "fastpath": self.options.fastpath,
                 "parallel_grain": self.options.parallel_grain,
+                "native": self.options.native,
             },
             "execution": {
                 "workers": self.execution.workers,
                 "pool": self.execution.pool,
                 "fastpath": self.execution.fastpath,
                 "parallel_grain": self.execution.parallel_grain,
+                "native": self.execution.native,
             },
         }
 
@@ -152,6 +161,15 @@ def knob_space(
                     ExecutionOptions(workers=widest, parallel_grain=grain),
                 )
             )
+    # the native C tier: sequential, and composed with the widest pool
+    native = CompilerOptions(device=device, native=True)
+    candidates.append(TunedConfig(native, seq))
+    if widths:
+        candidates.append(
+            TunedConfig(
+                native, ExecutionOptions(workers=max(widths), native=True)
+            )
+        )
     return candidates
 
 
@@ -170,4 +188,5 @@ def compact_space(device: str = "cpu-mt") -> list[TunedConfig]:
             CompilerOptions(device=device),
             ExecutionOptions(workers=2, parallel_grain=64),
         ),
+        TunedConfig(CompilerOptions(device=device, native=True), seq),
     ]

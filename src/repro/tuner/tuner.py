@@ -14,7 +14,14 @@ machine* in two stages:
 2. **Measured refiner** — the shortlist (always including the static
    default, which the winner must beat) races on the sampled store in
    real wall-clock, with early exit: a candidate whose first lap is
-   hopelessly behind the leader forfeits its remaining repeats.
+   hopelessly behind the leader forfeits its remaining repeats.  The
+   best-predicted parallel and native candidates are always raced
+   (diversity probes), and a near-tie between the default and a
+   parallel/native challenger is settled by one **full-scale
+   confirmation lap** of each — sample-scale races systematically
+   under-credit configurations whose fixed overheads amortize with
+   input size, which is exactly where the tuned benchmarks showed
+   declined oracle wins.
 
 The winner is memoized in a :class:`~repro.tuner.cache.TuningCache`
 keyed on query × store × hardware, so a warm cache answers with **zero**
@@ -63,6 +70,8 @@ class CandidateOutcome:
     config: TunedConfig
     predicted_seconds: float | None = None
     measured_seconds: float | None = None
+    #: full-store confirmation lap (near-tie challengers and the default)
+    confirmed_seconds: float | None = None
     trials: int = 0
     chosen: bool = False
 
@@ -75,8 +84,15 @@ class CandidateOutcome:
             "        -" if self.measured_seconds is None
             else f"{self.measured_seconds * 1e3:8.3f}ms"
         )
+        confirmed = (
+            "" if self.confirmed_seconds is None
+            else f" | full {self.confirmed_seconds * 1e3:8.3f}ms"
+        )
         mark = " <- chosen" if self.chosen else ""
-        return f"{self.config.describe():>42} | {predicted} | {measured}{mark}"
+        return (
+            f"{self.config.describe():>42} | {predicted} | {measured}"
+            f"{confirmed}{mark}"
+        )
 
 
 @dataclass
@@ -145,6 +161,16 @@ class AutoTuner:
         relative margin, otherwise the default is kept — ties go to the
         least surprising configuration, and sample-scale flukes are not
         allowed to adopt configs that could regress at full scale.
+    confirm:
+        Settle near-ties with a full-scale lap (default on).  Parallel
+        and native candidates pay fixed per-query overheads the sample
+        race over-weights; when the best such challenger measures within
+        ``confirm_margin`` of the static default, one timed lap of each
+        on the *full* store decides (``confirmed_seconds``), instead of
+        letting the default-margin rule decline a real full-scale win.
+    confirm_margin:
+        How close (relative) a parallel/native challenger must race to
+        the default to earn a full-scale confirmation lap.
     cpu_count:
         Real core budget (tests override it to simulate other machines).
     """
@@ -160,6 +186,8 @@ class AutoTuner:
         repeats: int = 3,
         race_factor: float = 2.0,
         keep_default_margin: float = 0.10,
+        confirm: bool = True,
+        confirm_margin: float = 0.35,
         cpu_count: int | None = None,
     ):
         self.store = store
@@ -176,6 +204,8 @@ class AutoTuner:
         self.repeats = max(1, repeats)
         self.race_factor = race_factor
         self.keep_default_margin = keep_default_margin
+        self.confirm = confirm
+        self.confirm_margin = confirm_margin
         #: timed wall-clock laps executed so far (0 on a warm cache)
         self.measured_trials = 0
         self._sample: ColumnStore | None = None
@@ -217,9 +247,9 @@ class AutoTuner:
         sample_extent = max((len(t) for t in self.sample.tables()), default=0)
         for outcome in outcomes:
             options = outcome.config.options
-            # fastpath only affects untraced dispatch; drop it so variants
-            # differing only there share one compile + traced run
-            variant = options.with_(fastpath=False)
+            # fastpath/native only affect untraced dispatch; drop them so
+            # variants differing only there share one compile + traced run
+            variant = options.with_(fastpath=False, native=False)
             if variant not in compiled_by_variant:
                 engine = VoodooEngine(self.sample, config=EngineConfig(
                     options=variant, grain=grain, tracing=True))
@@ -260,12 +290,17 @@ class AutoTuner:
             range(len(outcomes)), key=lambda i: outcomes[i].predicted_seconds
         )
         picks = [0] + [i for i in ranked if i != 0][: self.shortlist]
-        # diversity probe: the best-predicted parallel candidate is always
-        # raced — chunked execution has locality effects (and, inline on a
-        # single core, near-zero overhead) the trace model cannot see
+        # diversity probes: the best-predicted parallel candidate and the
+        # best-predicted native candidate are always raced — chunked
+        # execution has locality effects (and, inline on a single core,
+        # near-zero overhead) the trace model cannot see, and the cost
+        # model prices native identically to fused by construction
         parallel = [i for i in ranked if outcomes[i].config.workers > 1]
         if parallel and parallel[0] not in picks:
             picks.append(parallel[0])
+        native = [i for i in ranked if outcomes[i].config.native]
+        if native and native[0] not in picks:
+            picks.append(native[0])
         best = float("inf")
         for index in picks:
             outcome = outcomes[index]
@@ -289,14 +324,71 @@ class AutoTuner:
             outcome.measured_seconds = elapsed
             best = min(best, elapsed)
 
+    def _time_full(self, query: Query, grain: int | None, config: TunedConfig) -> float:
+        """One warmed wall-clock lap of *config* on the **full** store
+        (the confirmation probe's measurement; tests monkeypatch this)."""
+        from repro.relational.config import EngineConfig
+        from repro.relational.engine import VoodooEngine
+
+        with VoodooEngine(self.store, config=EngineConfig(
+            options=config.options,
+            grain=grain,
+            execution=config.execution,
+            tracing=False,
+        )) as engine:
+            engine.execute(query)  # warmup: compile, pools, plan cache
+            start = time.perf_counter()
+            engine.execute(query)
+            return time.perf_counter() - start
+
+    def _confirm(
+        self, query: Query, grain: int | None, outcomes: list[CandidateOutcome]
+    ) -> None:
+        """Full-scale tiebreak for near-tie parallel/native challengers.
+
+        The sample race charges a parallel pool's startup and a native
+        run's dispatch against a fraction of the real work, so configs
+        that win at full scale can lose the sample race by a whisker and
+        be declined by the keep-default margin.  When the best such
+        challenger measures within ``confirm_margin`` of the default,
+        one full-store lap of each decides (``confirmed_seconds``).
+        """
+        default = outcomes[0]
+        if not self.confirm or default.measured_seconds is None:
+            return
+        challengers = [
+            o for o in outcomes
+            if o is not default
+            and o.measured_seconds is not None
+            and (o.config.workers > 1 or o.config.native)
+            and o.measured_seconds
+            <= default.measured_seconds * (1 + self.confirm_margin)
+        ]
+        if not challengers:
+            return
+        challenger = min(challengers, key=lambda o: o.measured_seconds)
+        for outcome in (default, challenger):
+            outcome.confirmed_seconds = self._time_full(
+                query, grain, outcome.config
+            )
+            outcome.trials += 1
+            self.measured_trials += 1
+
+    @staticmethod
+    def _metric(outcome: CandidateOutcome) -> float:
+        """Full-scale evidence when it exists, sample-scale otherwise."""
+        if outcome.confirmed_seconds is not None:
+            return outcome.confirmed_seconds
+        return outcome.measured_seconds
+
     def _choose(self, outcomes: list[CandidateOutcome]) -> CandidateOutcome:
         measured = [o for o in outcomes if o.measured_seconds is not None]
-        winner = min(measured, key=lambda o: o.measured_seconds)
+        winner = min(measured, key=self._metric)
         default = outcomes[0]
         if (
             default.measured_seconds is not None
-            and default.measured_seconds
-            <= winner.measured_seconds * (1 + self.keep_default_margin)
+            and self._metric(default)
+            <= self._metric(winner) * (1 + self.keep_default_margin)
         ):
             winner = default  # ties go to the static default
         winner.chosen = True
@@ -330,6 +422,7 @@ class AutoTuner:
         trials_before = self.measured_trials
         outcomes = self._predict(query, grain)
         self._measure(query, grain, outcomes)
+        self._confirm(query, grain, outcomes)
         winner = self._choose(outcomes)
         report = TuningReport(
             key=key,

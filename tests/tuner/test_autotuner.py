@@ -121,8 +121,8 @@ class TestSearch:
         tuner = fast_tuner(store, shortlist=2)
         report = tuner.explain(build(store, 1))
         measured = [c for c in report.candidates if c.measured_seconds is not None]
-        # default + shortlist + at most one parallel diversity probe
-        assert 2 <= len(measured) <= 4
+        # default + shortlist + at most one parallel and one native probe
+        assert 2 <= len(measured) <= 5
         assert report.candidates[0].measured_seconds is not None  # the default
 
     def test_chosen_comes_from_the_space(self, store):
@@ -155,6 +155,112 @@ class TestSearch:
         tuner = fast_tuner(store)
         text = tuner.explain(build(store, 6)).render()
         assert "predicted" in text and "measured" in text and "chosen" in text.lower()
+
+
+# ----------------------------------------------------- confirmation probe
+
+
+class TestConfirmationProbe:
+    """Near-tie parallel/native challengers earn one full-store lap each
+    (plus one for the default), and that evidence overrides the sample
+    race — the fix for sample-scale races declining full-scale wins."""
+
+    @staticmethod
+    def _outcomes(tuner, sample_ms=10.0):
+        from repro.tuner.tuner import CandidateOutcome
+
+        outcomes = [CandidateOutcome(config) for config in tuner.space]
+        outcomes[0].measured_seconds = sample_ms * 1e-3
+        return outcomes
+
+    @staticmethod
+    def _pin_full_times(monkeypatch, times):
+        monkeypatch.setattr(
+            AutoTuner, "_time_full",
+            lambda self, query, grain, config: times[id(config)],
+        )
+
+    def test_near_tie_native_challenger_wins_on_full_scale(
+        self, store, monkeypatch
+    ):
+        tuner = fast_tuner(store)
+        outcomes = self._outcomes(tuner)
+        default = outcomes[0]
+        challenger = next(o for o in outcomes if o.config.native)
+        challenger.measured_seconds = 0.011  # loses the sample race
+        self._pin_full_times(monkeypatch, {
+            id(default.config): 0.100, id(challenger.config): 0.050,
+        })
+        trials = tuner.measured_trials
+        tuner._confirm(build(store, 6), None, outcomes)
+        assert default.confirmed_seconds == 0.100
+        assert challenger.confirmed_seconds == 0.050
+        assert tuner.measured_trials == trials + 2
+        winner = tuner._choose(outcomes)
+        assert winner is challenger and challenger.chosen
+        assert "full" in challenger.row()  # the evidence is visible
+
+    def test_full_scale_can_also_save_the_default(self, store, monkeypatch):
+        tuner = fast_tuner(store)
+        outcomes = self._outcomes(tuner)
+        default = outcomes[0]
+        challenger = next(o for o in outcomes if o.config.workers > 1)
+        challenger.measured_seconds = 0.009  # wins the sample race...
+        self._pin_full_times(monkeypatch, {
+            id(default.config): 0.050, id(challenger.config): 0.200,
+        })
+        tuner._confirm(build(store, 6), None, outcomes)
+        assert tuner._choose(outcomes) is default  # ...loses at full scale
+
+    def test_only_near_tie_parallel_or_native_challengers_qualify(
+        self, store, monkeypatch
+    ):
+        tuner = fast_tuner(store)
+        outcomes = self._outcomes(tuner)
+        default = outcomes[0]
+        # a sequential non-native config, even on a dead-heat sample race,
+        # never earns a lap: it has no scale-dependent fixed overheads
+        sequential = next(
+            o for o in outcomes[1:]
+            if not o.config.native and o.config.workers == 1
+        )
+        sequential.measured_seconds = default.measured_seconds
+        # a parallel config far outside the margin does not qualify either
+        parallel = next(o for o in outcomes if o.config.workers > 1)
+        parallel.measured_seconds = default.measured_seconds * 2.0
+        self._pin_full_times(monkeypatch, {})  # any lap would KeyError
+        tuner._confirm(build(store, 6), None, outcomes)
+        assert all(o.confirmed_seconds is None for o in outcomes)
+
+    def test_confirm_off_disables_the_probe(self, store, monkeypatch):
+        tuner = fast_tuner(store, confirm=False)
+        outcomes = self._outcomes(tuner)
+        challenger = next(o for o in outcomes if o.config.native)
+        challenger.measured_seconds = outcomes[0].measured_seconds
+        self._pin_full_times(monkeypatch, {})  # any lap would KeyError
+        tuner._confirm(build(store, 6), None, outcomes)
+        assert all(o.confirmed_seconds is None for o in outcomes)
+
+    def test_explain_runs_the_probe_end_to_end(self, store, monkeypatch):
+        """Through the real entry point: pin full-scale laps so the
+        native candidate must be adopted, and check the report shows
+        the full-scale column."""
+        monkeypatch.setattr(
+            AutoTuner, "_time_full",
+            lambda self, query, grain, config:
+                1e-4 if config.native else 10.0,
+        )
+        tuner = fast_tuner(store, confirm_margin=1e9)  # everyone is "near"
+        report = tuner.explain(build(store, 6))
+        confirmed = [
+            o for o in report.candidates if o.confirmed_seconds is not None
+        ]
+        if any(
+            o.config.native and o.measured_seconds is not None
+            for o in report.candidates
+        ):
+            assert len(confirmed) == 2  # default + best challenger
+            assert "full" in report.render()
 
 
 # ----------------------------------------------------- memoization
