@@ -251,6 +251,8 @@ class BaselineEngine:
                 return a * b, va & vb
             if expr.op == "idiv":
                 return a // np.where(b == 0, 1, b), va & vb
+            if expr.op == "mod":
+                return a % np.where(b == 0, 1, b), va & vb
             return a / np.where(b == 0, 1, b), va & vb
         if isinstance(expr, ex.Cmp):
             a, va = self.expr(expr.left, rows)

@@ -204,6 +204,56 @@ def fold_scan_uniform(
     return scan, np.ones(n, dtype=bool)
 
 
+def fold_runs(
+    fn: str,
+    values: np.ndarray,
+    lengths: np.ndarray | None,
+) -> np.ndarray:
+    """Single-run fold directly over (possibly RLE) segment data.
+
+    An RLE run and a control-vector run are the same shape, so this is
+    :func:`fold_aggregate_uniform`'s single-run case lifted onto
+    compressed data: ``lengths is None`` folds plain values; otherwise
+    ``values``/``lengths`` are run values and run lengths and the fold
+    never materializes the decompressed column.  Returns a 0-d array.
+
+    Restricted to the bit-identity-safe cases — callers must pre-check
+    eligibility (:meth:`repro.storage.segment.ColumnData.fold` returns
+    ``None`` otherwise):
+
+    * ``sum`` over ints/bools: int64 addition wraps associatively, so
+      ``Σ value·length`` equals the repeated additions exactly.  Float
+      sums are *ineligible* — per-run multiplies round differently than
+      the sequential accumulation order.
+    * ``min``/``max`` over any dtype: deduplicating adjacent equal
+      (bit-identical) elements preserves both the reduction order of the
+      distinct values and NaN propagation, so the result is bit-exact.
+    """
+    if fn == "sum":
+        vals = values.astype(np.int64, copy=False)
+        if lengths is None:
+            return np.asarray(vals.sum())
+        return np.asarray((vals * lengths.astype(np.int64, copy=False)).sum())
+    ufunc = np.maximum if fn == "max" else np.minimum
+    return np.asarray(ufunc.reduce(values))
+
+
+def combine_fold_partials(fn: str, partials: list[np.ndarray]) -> np.ndarray:
+    """Combine per-segment :func:`fold_runs` partials in segment order.
+
+    Segment order matters only for bitwise tie determinism (e.g. a
+    ``max`` over ``-0.0`` and ``0.0``): combining in order reproduces
+    exactly what one reduction over the concatenated values yields.
+    """
+    if len(partials) == 1:
+        return partials[0]
+    stacked = np.stack(partials)
+    if fn == "sum":
+        return np.asarray(np.add.reduce(stacked))
+    ufunc = np.maximum if fn == "max" else np.minimum
+    return np.asarray(ufunc.reduce(stacked))
+
+
 def gather_compacted(
     positions: np.ndarray,
     pos_present: np.ndarray,

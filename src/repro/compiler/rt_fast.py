@@ -47,20 +47,29 @@ class FusedVal:
     carries optional producer metadata (currently the stable
     destination order a ``Partition`` computed, keyed by attribute) that
     downstream operators may exploit but never require.
+
+    ``lazy`` holds storage-backed attributes that exist only as
+    :class:`repro.storage.segment.ColumnData` handles — always dense —
+    and decode on first touch.  Structural operators (project/zip/
+    upsert/slice) pass handles through untouched; folds and gathers
+    exploit them directly (fold over RLE runs, random access without
+    decompressing); everything else extracts, which materializes.
     """
 
-    __slots__ = ("length", "cols", "masks", "virtual", "scatter", "hints")
+    __slots__ = ("length", "cols", "masks", "virtual", "scatter", "hints", "lazy")
 
-    def __init__(self, length, cols, masks, virtual=None, scatter=None, hints=None):
+    def __init__(self, length, cols, masks, virtual=None, scatter=None, hints=None,
+                 lazy=None):
         self.length = length
         self.cols = cols
         self.masks = masks
         self.virtual = virtual if virtual is not None else {}
         self.scatter = scatter
         self.hints = hints
+        self.lazy = lazy if lazy is not None else {}
 
     def paths(self):
-        return tuple(self.cols) + tuple(self.virtual)
+        return tuple(self.cols) + tuple(self.virtual) + tuple(self.lazy)
 
     def attr(self, path: Keypath) -> np.ndarray:
         info = self.virtual.get(path)
@@ -69,12 +78,19 @@ class FusedVal:
         try:
             return self.cols[path]
         except KeyError:
-            raise ExecutionError(
-                f"no attribute {path} in fused value with {list(self.cols)}"
-            ) from None
+            pass
+        handle = self.lazy.get(path)
+        if handle is not None:
+            array = np.asarray(handle.materialize())
+            self.cols[path] = array
+            del self.lazy[path]
+            return array
+        raise ExecutionError(
+            f"no attribute {path} in fused value with {list(self.paths())}"
+        )
 
     def mask(self, path: Keypath) -> np.ndarray | None:
-        if path in self.virtual:
+        if path in self.virtual or path in self.lazy:
             return None
         return self.masks.get(path)
 
@@ -88,22 +104,25 @@ class FusedVal:
         info = self.virtual.get(path)
         if info is not None:
             return info.value(0)
+        if path in self.lazy:
+            return self.attr(path)[0]
         if path in self.cols and self.masks.get(path) is None:
             return self.cols[path][0]
         return None
 
 
 def extract(val: FusedVal, path: Keypath) -> tuple[np.ndarray, np.ndarray | None]:
-    """(array, mask) of one attribute; virtuals materialize on demand."""
+    """(array, mask) of one attribute; virtuals/lazies materialize on demand."""
     info = val.virtual.get(path)
     if info is not None:
         return info.materialize(val.length), None
-    try:
+    if path in val.cols:
         return val.cols[path], val.masks.get(path)
-    except KeyError:
-        raise ExecutionError(
-            f"no attribute {path} in fused value with {list(val.cols)}"
-        ) from None
+    if path in val.lazy:
+        return val.attr(path), None
+    raise ExecutionError(
+        f"no attribute {path} in fused value with {list(val.paths())}"
+    )
 
 
 def fused_binary(fn, a, ma, b, mb):
@@ -150,11 +169,18 @@ class FusedRuntime:
             vector = self.storage[name]
         except KeyError:
             raise ExecutionError(f"Load: no vector named {name!r} in storage") from None
-        cols = {p: vector.attr(p) for p in vector.paths}
-        masks = {
-            p: (None if vector.is_dense(p) else vector.present(p)) for p in vector.paths
-        }
-        return FusedVal(len(vector), cols, masks)
+        cols = {}
+        masks = {}
+        lazy = {}
+        for p in vector.paths:
+            handle = vector.lazy_handle(p)
+            if handle is not None:
+                # storage column: stays a segment handle until touched
+                lazy[p] = handle
+                continue
+            cols[p] = vector.attr(p)
+            masks[p] = None if vector.is_dense(p) else vector.present(p)
+        return FusedVal(len(vector), cols, masks, lazy=lazy)
 
     def output(self, name: str, val: FusedVal) -> StructuredVector:
         vector = self.force(val)
@@ -174,10 +200,13 @@ class FusedRuntime:
         for path, info in val.virtual.items():
             columns[path] = info.materialize(val.length)
             present[path] = None
+        for path, handle in val.lazy.items():
+            columns[path] = np.asarray(handle.materialize())
+            present[path] = None
         return StructuredVector(val.length, columns, present)
 
     def _dense_parts(self, val: FusedVal):
-        """(cols, masks) with virtuals materialized and scatter applied."""
+        """(cols, masks) with virtuals/lazies materialized, scatter applied."""
         if val.scatter is not None:
             val = self._apply_scatter(val)
         cols = dict(val.cols)
@@ -185,12 +214,16 @@ class FusedRuntime:
         for path, info in val.virtual.items():
             cols[path] = info.materialize(val.length)
             masks[path] = None
+        for path, handle in val.lazy.items():
+            cols[path] = np.asarray(handle.materialize())
+            masks[path] = None
         return cols, masks
 
     def _apply_scatter(self, val: FusedVal) -> FusedVal:
         scat = val.scatter
         cols, masks = self._dense_parts(
-            FusedVal(val.length, val.cols, val.masks, dict(val.virtual))
+            FusedVal(val.length, val.cols, val.masks, dict(val.virtual),
+                     lazy=dict(val.lazy))
         )
         out_cols, out_masks = semantics.scatter(
             scat.positions, scat.pos_present, scat.size, cols, masks
@@ -226,6 +259,23 @@ class FusedRuntime:
             derived = derive_runinfo(fn, info, int(rscalar))
             if derived is not None:
                 return FusedVal(left.length, {}, {}, {out: derived})
+        # segment-wise fast path: an RLE-backed lazy column against a
+        # length-1 operand evaluates per *run* and expands the results —
+        # bit-identical (elementwise kernels) without ever materializing
+        # the decompressed operand column
+        handle = left.lazy.get(kp1) if left.scatter is None else None
+        if (handle is not None and left.length > 1
+                and handle.has_rle() and right.length == 1):
+            b, mb = extract(right, kp2)
+            if mb is None:
+                pieces = []
+                for vals, lengths in handle.run_pairs():
+                    r = apply_binary(fn, vals, np.broadcast_to(b, (len(vals),)))
+                    pieces.append(r if lengths is None else np.repeat(r, lengths))
+                result = np.concatenate(pieces) if pieces else apply_binary(
+                    fn, handle.materialize(), np.broadcast_to(b, (0,))
+                )
+                return FusedVal(len(result), {out: result}, {out: None})
         a, ma = extract(left, kp1)
         b, mb = extract(right, kp2)
         result, mask = fused_binary(fn, a, ma, b, mb)
@@ -247,6 +297,7 @@ class FusedRuntime:
         cols: dict[Keypath, np.ndarray] = {}
         masks: dict[Keypath, np.ndarray | None] = {}
         virtual: dict[Keypath, RunInfo] = {}
+        lazy: dict[Keypath, object] = {}
         for side in (lv, rv):
             for path, array in side.cols.items():
                 if path in cols:
@@ -254,8 +305,12 @@ class FusedRuntime:
                 cols[path] = array if len(array) == n else array[:n]
                 m = side.masks.get(path)
                 masks[path] = m if (m is None or len(m) == n) else m[:n]
+            for path, handle in side.lazy.items():
+                if path in cols or path in lazy:
+                    raise ExecutionError(f"Zip would duplicate attribute {path}")
+                lazy[path] = handle if len(handle) == n else handle.slice(0, n)
             virtual.update(side.virtual)
-        return FusedVal(n, cols, masks, virtual)
+        return FusedVal(n, cols, masks, virtual, lazy=lazy)
 
     def _side(self, val: FusedVal, kp: Keypath | None, out: Keypath | None) -> FusedVal:
         if kp is None:
@@ -268,6 +323,7 @@ class FusedRuntime:
                 virtual[path.rebase(kp, out)] = info
         cols: dict[Keypath, np.ndarray] = {}
         masks: dict[Keypath, np.ndarray | None] = {}
+        lazy: dict[Keypath, object] = {}
         for path, array in val.cols.items():
             if path == kp:
                 new = out
@@ -277,9 +333,14 @@ class FusedRuntime:
                 continue
             cols[new] = array
             masks[new] = val.masks.get(path)
-        if not cols and not virtual:
+        for path, handle in val.lazy.items():
+            if path == kp:
+                lazy[out] = handle
+            elif path.startswith(kp):
+                lazy[path.rebase(kp, out)] = handle
+        if not cols and not virtual and not lazy:
             raise ExecutionError(f"Zip/Project: keypath {kp} not found")
-        return FusedVal(val.length, cols, masks, virtual)
+        return FusedVal(val.length, cols, masks, virtual, lazy=lazy)
 
     def project(self, out: Keypath, source: FusedVal, kp: Keypath) -> FusedVal:
         return self._side(source, kp, out)
@@ -291,7 +352,26 @@ class FusedRuntime:
             virtual[out] = info
             cols = {p: a for p, a in target.cols.items() if p != out}
             masks = {p: m for p, m in target.masks.items() if p != out}
-            return FusedVal(target.length, cols, masks, virtual)
+            lazy = {p: h for p, h in target.lazy.items() if p != out}
+            return FusedVal(target.length, cols, masks, virtual, lazy=lazy)
+        handle = value.lazy.get(kp) if value.scatter is None else None
+        if (
+            handle is not None
+            and target.scatter is None
+            and value.length >= target.length
+            and (value.length == target.length or target.length > 1)
+        ):
+            # renaming a storage column: alias the segment handle under
+            # the new path instead of decoding it
+            n = target.length
+            cols = {p: a for p, a in target.cols.items() if p != out}
+            masks = {p: m for p, m in target.masks.items() if p != out}
+            for path, info in target.virtual.items():
+                cols[path] = info.materialize(n)
+                masks[path] = None
+            lazy = {p: h for p, h in target.lazy.items() if p != out}
+            lazy[out] = handle if len(handle) == n else handle.slice(0, n)
+            return FusedVal(n, cols, masks, lazy=lazy)
         array, mask = extract(value, kp)
         n = target.length
         if len(array) == 1 and n != 1:
@@ -299,10 +379,20 @@ class FusedRuntime:
             mask = None
         elif len(array) < n:
             raise ExecutionError(f"Upsert: value length {len(array)} < target {n}")
-        cols, masks = self._dense_parts(target)
+        if target.scatter is None:
+            # no pending scatter: untouched lazy columns stay lazy
+            cols = dict(target.cols)
+            masks = dict(target.masks)
+            for path, info in target.virtual.items():
+                cols[path] = info.materialize(n)
+                masks[path] = None
+            lazy = {p: h for p, h in target.lazy.items() if p != out}
+        else:
+            cols, masks = self._dense_parts(target)
+            lazy = {}
         cols[out] = array[:n]
         masks[out] = None if mask is None else mask[:n]
-        return FusedVal(n, cols, masks)
+        return FusedVal(n, cols, masks, lazy=lazy)
 
     def gather(self, source: FusedVal, positions: FusedVal, pos_kp: Keypath) -> FusedVal:
         if source.scatter is not None:
@@ -310,11 +400,16 @@ class FusedRuntime:
             # (mirrors Runtime.gather's force())
             source = self._apply_scatter(source)
         pos, pos_mask = extract(positions, pos_kp)
-        cols, masks = self._dense_parts(source)
+        cols = dict(source.cols)
+        masks = dict(source.masks)
+        for path, info in source.virtual.items():
+            cols[path] = info.materialize(source.length)
+            masks[path] = None
         # compaction pays when positions are mostly ε (its premise); at
         # high hit density the direct gather's streaming access wins —
         # both kernels are bit-identical, this is purely a cost choice
-        if pos_mask is not None and np.count_nonzero(pos_mask) * 2 < len(pos):
+        compacted = pos_mask is not None and np.count_nonzero(pos_mask) * 2 < len(pos)
+        if compacted:
             out_cols, out_masks = self._gather_compacted(
                 pos, pos_mask, source.length, cols, masks
             )
@@ -322,6 +417,12 @@ class FusedRuntime:
             out_cols, out_masks = semantics.gather(
                 pos, pos_mask, source.length, cols, masks
             )
+        if source.lazy:
+            lazy_cols, lazy_masks = _gather_lazy(
+                source.lazy, pos, pos_mask, source.length, compacted
+            )
+            out_cols.update(lazy_cols)
+            out_masks.update(lazy_masks)
         return FusedVal(len(pos), out_cols, _normalized(out_masks))
 
     def scatter(self, data: FusedVal, positions: FusedVal, pos_kp: Keypath,
@@ -337,7 +438,8 @@ class FusedRuntime:
             size=size,
             order_hint=order_hint,
         )
-        val = FusedVal(data.length, data.cols, data.masks, dict(data.virtual), scat)
+        val = FusedVal(data.length, data.cols, data.masks, dict(data.virtual), scat,
+                       lazy=dict(data.lazy))
         if keep_virtual and self.virtual_scatter_enabled:
             return val
         return self._apply_scatter(val)
@@ -423,6 +525,39 @@ class FusedRuntime:
             return self._fold_scattered(fn, out, val, agg_kp, fold_kp)
         n = val.length
         control, cmask, static_rl = self._control_arrays(val, fold_kp, n)
+        # single-run fold over a storage column: fold directly over the
+        # segments (RLE runs fold without decompressing; see
+        # ColumnData.fold for the bit-identity eligibility rules)
+        if control is None and not static_rl and n > 0:
+            handle = val.lazy.get(agg_kp)
+            if handle is not None:
+                folded = handle.fold(fn)
+                if folded is not None:
+                    result = np.zeros(n, dtype=folded.dtype)
+                    result[0] = folded
+                    present = np.zeros(n, dtype=bool)
+                    present[0] = True
+                    return FusedVal(n, {out: result}, {out: present})
+        # grained (uniform-run) integer sum over a storage column: the
+        # per-run partials come from RLE prefix sums without decoding.
+        # A virtual control materialized only because its final run is
+        # ragged still proves the run structure — reuse its run length.
+        rl = static_rl if control is None else None
+        if rl is None and control is not None and fold_kp is not None:
+            info = val.runinfo(fold_kp)
+            if info is not None:
+                rl = info.run_length(n)
+        if rl and n > 0:
+            handle = val.lazy.get(agg_kp)
+            if handle is not None:
+                per_run = handle.fold_grained(fn, rl)
+                if per_run is not None:
+                    starts = np.arange(len(per_run), dtype=np.int64) * rl
+                    result = np.zeros(n, dtype=per_run.dtype)
+                    result[starts] = per_run
+                    present = np.zeros(n, dtype=bool)
+                    present[starts] = True
+                    return FusedVal(n, {out: result}, {out: present})
         values, mask = extract(val, agg_kp)
         if control is None:
             result, present = self._fold_aggregate_uniform(
@@ -519,6 +654,47 @@ class FusedRuntime:
 def _single_path(val: FusedVal):
     paths = val.paths()
     return paths[0] if len(paths) == 1 else None
+
+
+def _gather_lazy(lazy, pos, pos_mask, source_len, compacted):
+    """Gather lazy columns by random access through their segment handles.
+
+    Mirrors :func:`repro.interpreter.semantics.gather` (dense branch) and
+    :func:`repro.compiler.kernels.gather_compacted` exactly for a dense
+    (mask-free) source column — same ε-zero-fill, same output masks —
+    but resolves positions via ``handle.take``: binary search into RLE
+    runs / fancy-indexed FoR deltas, never a full decode.
+    """
+    out_cols: dict = {}
+    out_masks: dict = {}
+    n = len(pos)
+    if compacted:
+        idx = np.flatnonzero(pos_mask)
+        taken_pos = pos[idx]
+        in_bounds = (taken_pos >= 0) & (taken_pos < source_len)
+        if not in_bounds.all():
+            idx = idx[in_bounds]
+            taken_pos = taken_pos[in_bounds]
+        valid = np.zeros(n, dtype=bool)
+        valid[idx] = True
+        for path, handle in lazy.items():
+            taken = np.zeros(n, dtype=handle.dtype)
+            taken[idx] = handle.take(taken_pos)
+            out_cols[path] = taken
+            out_masks[path] = valid
+        return out_cols, out_masks
+    valid = (pos >= 0) & (pos < source_len)
+    if pos_mask is not None:
+        valid &= pos_mask
+    safe = np.where(valid, pos, 0).astype(np.int64, copy=False)
+    all_valid = bool(valid.all())
+    for path, handle in lazy.items():
+        taken = np.asarray(handle.take(safe))
+        if not all_valid:
+            taken[~valid] = 0
+        out_cols[path] = taken
+        out_masks[path] = valid.copy()
+    return out_cols, out_masks
 
 
 def _normalized(masks: dict) -> dict:

@@ -10,6 +10,16 @@ mask implementing the paper's *empty* (ε) field value: slots not set by a
 A presence mask of ``None`` means "every slot present" — the common case —
 so fully-dense vectors pay no mask storage (mirroring the paper's
 empty-slot suppression at the data-model level).
+
+Attributes may also be **lazy**: instead of an array, a leaf keypath can
+carry a column handle (anything with ``dtype``, ``__len__``,
+``materialize()``, ``slice(lo, hi)`` and ``take(positions)`` — in
+practice :class:`repro.storage.segment.ColumnData`).  The vector knows
+its full schema up front, but a lazy attribute's values are decoded only
+when ``attr()`` first touches them (then memoized).  ``project``,
+``slice``, ``head`` and ``zip`` compose lazily; ``take`` random-accesses
+through the handle without a full decode.  Lazy attributes are always
+dense — storage columns have no ε slots.
 """
 
 from __future__ import annotations
@@ -27,7 +37,7 @@ from repro.errors import SchemaError, VoodooError
 class StructuredVector:
     """An immutable-by-convention structure-of-arrays vector with ε masks."""
 
-    __slots__ = ("_length", "_columns", "_present", "_runinfo")
+    __slots__ = ("_length", "_columns", "_present", "_runinfo", "_lazy", "_paths")
 
     def __init__(
         self,
@@ -35,6 +45,7 @@ class StructuredVector:
         columns: Mapping[Keypath | str, np.ndarray],
         present: Mapping[Keypath | str, np.ndarray | None] | None = None,
         runinfo: Mapping[Keypath | str, RunInfo] | None = None,
+        lazy: Mapping[Keypath | str, object] | None = None,
     ):
         if length < 0:
             raise VoodooError(f"vector length must be >= 0, got {length}")
@@ -42,6 +53,7 @@ class StructuredVector:
         self._columns: dict[Keypath, np.ndarray] = {}
         self._present: dict[Keypath, np.ndarray | None] = {}
         self._runinfo: dict[Keypath, RunInfo] = {}
+        self._lazy: dict[Keypath, object] = {}
 
         present = present or {}
         normalized_present = {kp(p): m for p, m in present.items()}
@@ -63,7 +75,24 @@ class StructuredVector:
                 if mask.all():
                     mask = None  # dense: drop the mask
             self._present[path] = mask
-        Schema._check_no_prefix_conflicts(self._columns)
+        for path, handle in (lazy or {}).items():
+            path = kp(path)
+            if path in self._columns:
+                raise SchemaError(f"attribute {path} is both lazy and materialized")
+            check_dtype(np.dtype(handle.dtype))
+            if len(handle) != self._length:
+                raise SchemaError(
+                    f"lazy column {path}: length {len(handle)} != vector "
+                    f"length {self._length}"
+                )
+            self._lazy[path] = handle
+        # the attribute order is fixed at construction — materializing a
+        # lazy column later must not reorder paths/schema
+        self._paths: tuple[Keypath, ...] = tuple(self._columns) + tuple(self._lazy)
+        if self._lazy:
+            Schema._check_no_prefix_conflicts({p: None for p in self._paths})
+        else:
+            Schema._check_no_prefix_conflicts(self._columns)
 
         for path, info in (runinfo or {}).items():
             path = kp(path)
@@ -102,24 +131,48 @@ class StructuredVector:
 
     @property
     def schema(self) -> Schema:
-        return Schema({p: a.dtype for p, a in self._columns.items()})
+        return Schema({
+            p: (self._columns[p].dtype if p in self._columns
+                else np.dtype(self._lazy[p].dtype))
+            for p in self._paths
+        })
 
     @property
     def paths(self) -> tuple[Keypath, ...]:
-        return tuple(self._columns)
+        return self._paths
 
     def attr(self, path: Keypath | str) -> np.ndarray:
-        """The raw value array for a leaf keypath (ε slots hold garbage)."""
+        """The raw value array for a leaf keypath (ε slots hold garbage).
+
+        A lazy attribute materializes on first touch and is memoized.
+        """
         path = kp(path)
         try:
             return self._columns[path]
         except KeyError:
-            raise SchemaError(f"no attribute {path} in vector with {list(self._columns)}") from None
+            pass
+        handle = self._lazy.get(path)
+        if handle is None:
+            raise SchemaError(f"no attribute {path} in vector with {list(self._paths)}")
+        array = np.asarray(handle.materialize())
+        # Concurrent chunk workers may race to materialize the same handle;
+        # the result is deterministic, so last-write-wins is safe.
+        self._columns[path] = array
+        self._lazy.pop(path, None)
+        return array
+
+    def lazy_handle(self, path: Keypath | str):
+        """The not-yet-materialized handle for *path*, or ``None``."""
+        return self._lazy.get(kp(path))
+
+    def lazy_items(self) -> tuple:
+        """(path, handle) pairs still unmaterialized, in path order."""
+        return tuple(self._lazy.items())
 
     def present(self, path: Keypath | str) -> np.ndarray:
         """Boolean presence mask for a leaf keypath (dense ⇒ all-True)."""
         path = kp(path)
-        if path not in self._columns:
+        if path not in self._columns and path not in self._lazy:
             raise SchemaError(f"no attribute {path}")
         mask = self._present.get(path)
         if mask is None:
@@ -136,11 +189,11 @@ class StructuredVector:
     def resolve(self, path: Keypath | str) -> tuple[Keypath, ...]:
         """Leaf keypaths designated by *path* (which may name a struct)."""
         path = kp(path)
-        if path in self._columns:
+        if path in self._columns or path in self._lazy:
             return (path,)
-        leaves = tuple(p for p in self._columns if p.startswith(path))
+        leaves = tuple(p for p in self._paths if p.startswith(path))
         if not leaves:
-            raise SchemaError(f"keypath {path} does not resolve; have {list(self._columns)}")
+            raise SchemaError(f"keypath {path} does not resolve; have {list(self._paths)}")
         return leaves
 
     # -- structural operations (used by backends) -----------------------------------
@@ -153,15 +206,19 @@ class StructuredVector:
         columns: dict[Keypath, np.ndarray] = {}
         present: dict[Keypath, np.ndarray | None] = {}
         runinfo: dict[Keypath, RunInfo] = {}
+        lazy: dict[Keypath, object] = {}
         for leaf in leaves:
             new = leaf if out is None else (
                 out if leaf == path else leaf.rebase(path, out)
             )
+            if leaf in self._lazy:
+                lazy[new] = self._lazy[leaf]
+                continue
             columns[new] = self._columns[leaf]
             present[new] = self._present.get(leaf)
             if leaf in self._runinfo:
                 runinfo[new] = self._runinfo[leaf]
-        return StructuredVector(self._length, columns, present, runinfo)
+        return StructuredVector(self._length, columns, present, runinfo, lazy=lazy)
 
     def with_attr(
         self,
@@ -175,23 +232,25 @@ class StructuredVector:
         columns = dict(self._columns)
         present = dict(self._present)
         infos = dict(self._runinfo)
+        lazy = {p: h for p, h in self._lazy.items() if p != path}
         columns[path] = np.asarray(array)
         present[path] = mask
         if runinfo is not None:
             infos[path] = runinfo
         else:
             infos.pop(path, None)
-        return StructuredVector(self._length, columns, present, infos)
+        return StructuredVector(self._length, columns, present, infos, lazy=lazy)
 
     def without_attr(self, path: Keypath | str) -> "StructuredVector":
         path = kp(path)
         leaves = self.resolve(path)
         columns = {p: a for p, a in self._columns.items() if p not in leaves}
-        if not columns:
+        lazy = {p: h for p, h in self._lazy.items() if p not in leaves}
+        if not columns and not lazy:
             raise SchemaError("cannot drop the last attribute of a vector")
         present = {p: self._present.get(p) for p in columns}
         infos = {p: i for p, i in self._runinfo.items() if p in columns}
-        return StructuredVector(self._length, columns, present, infos)
+        return StructuredVector(self._length, columns, present, infos, lazy=lazy)
 
     def zip(self, other: "StructuredVector") -> "StructuredVector":
         """Positional combination of two vectors (Zip); length = min."""
@@ -199,16 +258,22 @@ class StructuredVector:
         columns: dict[Keypath, np.ndarray] = {}
         present: dict[Keypath, np.ndarray | None] = {}
         infos: dict[Keypath, RunInfo] = {}
+        lazy: dict[Keypath, object] = {}
         for side in (self, other):
-            for path, array in side._columns.items():
-                if path in columns:
+            for path in side._paths:
+                if path in columns or path in lazy:
                     raise SchemaError(f"Zip would duplicate attribute {path}")
+                handle = side._lazy.get(path)
+                if handle is not None:
+                    lazy[path] = handle if len(handle) == n else handle.slice(0, n)
+                    continue
+                array = side._columns[path]
                 columns[path] = array[:n]
                 mask = side._present.get(path)
                 present[path] = None if mask is None else mask[:n]
                 if path in side._runinfo:
                     infos[path] = side._runinfo[path]
-        return StructuredVector(n, columns, present, infos)
+        return StructuredVector(n, columns, present, infos, lazy=lazy)
 
     def take(self, positions: np.ndarray) -> "StructuredVector":
         """Positional gather; out-of-bounds positions yield ε slots.
@@ -223,8 +288,13 @@ class StructuredVector:
         all_valid = bool(valid.all())
         columns: dict[Keypath, np.ndarray] = {}
         present: dict[Keypath, np.ndarray | None] = {}
-        for path, array in self._columns.items():
-            taken = array[safe]
+        for path in self._paths:
+            handle = self._lazy.get(path)
+            if handle is not None:
+                # random access through the handle — no full decode
+                taken = np.asarray(handle.take(safe))
+            else:
+                taken = self._columns[path][safe]
             if not all_valid:
                 taken[~valid] = 0
             columns[path] = taken
@@ -237,34 +307,39 @@ class StructuredVector:
         n = min(n, self._length)
         columns = {p: a[:n] for p, a in self._columns.items()}
         present = {p: (None if m is None else m[:n]) for p, m in self._present.items()}
-        return StructuredVector(n, columns, present, self._runinfo)
+        lazy = {p: h.slice(0, n) for p, h in self._lazy.items()}
+        return StructuredVector(n, columns, present, self._runinfo, lazy=lazy)
 
     def slice(self, lo: int, hi: int) -> "StructuredVector":
         """Contiguous row range ``[lo, hi)`` (the partition-parallel chunk cut).
 
-        Views, not copies; run metadata is dropped because a RunInfo start
-        offset would be wrong for a mid-vector cut (values are unaffected —
-        the interpreter only uses RunInfo as derivation metadata).
+        Views, not copies (lazy attributes stay lazy — a chunk cut of an
+        out-of-core column reads nothing); run metadata is dropped
+        because a RunInfo start offset would be wrong for a mid-vector
+        cut (values are unaffected — the interpreter only uses RunInfo
+        as derivation metadata).
         """
         lo = max(0, min(lo, self._length))
         hi = max(lo, min(hi, self._length))
         columns = {p: a[lo:hi] for p, a in self._columns.items()}
         present = {p: (None if m is None else m[lo:hi]) for p, m in self._present.items()}
-        return StructuredVector(hi - lo, columns, present)
+        lazy = {p: h.slice(lo, hi) for p, h in self._lazy.items()}
+        return StructuredVector(hi - lo, columns, present, lazy=lazy)
 
     # -- debugging ------------------------------------------------------------------
 
     def to_records(self) -> list[dict[str, object]]:
         """Python-native rows with ``None`` for ε slots (interpreter output)."""
         rows: list[dict[str, object]] = []
+        arrays = {path: self.attr(path) for path in self._paths}
         for i in range(self._length):
             row: dict[str, object] = {}
-            for path, array in self._columns.items():
+            for path, array in arrays.items():
                 mask = self._present.get(path)
                 row[str(path)] = array[i].item() if (mask is None or mask[i]) else None
             rows.append(row)
         return rows
 
     def __repr__(self) -> str:
-        cols = ", ".join(f"{p}:{a.dtype}" for p, a in self._columns.items())
+        cols = ", ".join(f"{p}:{dt}" for p, dt in self.schema.items())
         return f"StructuredVector(len={self._length}, {{{cols}}})"

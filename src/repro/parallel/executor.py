@@ -345,15 +345,21 @@ class ParallelInterpreter:
         object back; re-planning (zone classification + schema
         inference) per run was measurable on short queries.  The key
         covers everything the planner reads from storage: names,
-        lengths, *and* per-attribute dtypes — a float sum is only exact
+        lengths, per-attribute dtypes — a float sum is only exact
         sequentially, so swapping an int column for a float one of the
-        same shape must invalidate the cached zone classification.
+        same shape must invalidate the cached zone classification — and
+        the lazy storage columns' segment maps, which steer the chunk
+        boundaries.  Dtypes come from the schema (never ``attr``): the
+        plan key must not materialize lazy columns.
         """
         shape = tuple(sorted(
             (
                 name,
                 len(vec),
-                tuple((str(p), vec.attr(p).dtype.str) for p in vec.paths),
+                tuple((str(p), dt.str) for p, dt in vec.schema.items()),
+                tuple(
+                    (str(p), h.boundaries()) for p, h in vec.lazy_items()
+                ) if hasattr(vec, "lazy_items") else (),
             )
             for name, vec in self._storage.items()
         ))

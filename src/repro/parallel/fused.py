@@ -70,10 +70,17 @@ def to_fused(vector: StructuredVector, lo: int = 0, hi: int | None = None) -> Fu
     hi = len(vector) if hi is None else hi
     cols = {}
     masks = {}
+    lazy = {}
     for path in vector.paths:
+        handle = vector.lazy_handle(path)
+        if handle is not None:
+            # storage columns cross the chunk boundary as sliced segment
+            # handles — a chunk worker only decodes what it touches
+            lazy[path] = handle.slice(lo, hi)
+            continue
         cols[path] = vector.attr(path)[lo:hi]
         masks[path] = None if vector.is_dense(path) else vector.present(path)[lo:hi]
-    return FusedVal(hi - lo, cols, masks)
+    return FusedVal(hi - lo, cols, masks, lazy=lazy)
 
 
 def fused_slice(val: FusedVal, lo: int, hi: int) -> FusedVal:
@@ -82,7 +89,8 @@ def fused_slice(val: FusedVal, lo: int, hi: int) -> FusedVal:
         raise ExecutionError("fused_slice needs a landed, concrete value")
     cols = {p: a[lo:hi] for p, a in val.cols.items()}
     masks = {p: (None if m is None else m[lo:hi]) for p, m in val.masks.items()}
-    return FusedVal(hi - lo, cols, masks)
+    lazy = {p: h.slice(lo, hi) for p, h in val.lazy.items()}
+    return FusedVal(hi - lo, cols, masks, lazy=lazy)
 
 
 class FusedProgramRunner:
@@ -172,7 +180,7 @@ class FusedProgramRunner:
             for path, info in val.virtual.items():
                 cols[path] = info.materialize(val.length)
                 masks[path] = None
-            val = FusedVal(val.length, cols, masks)
+            val = FusedVal(val.length, cols, masks, lazy=dict(val.lazy))
         return val
 
     @staticmethod

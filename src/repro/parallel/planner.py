@@ -34,6 +34,7 @@ folds equal the sequential ones bit for bit.
 
 from __future__ import annotations
 
+import bisect
 import math
 from dataclasses import dataclass, field
 
@@ -98,7 +99,11 @@ class PartitionPlan:
 
 
 def chunk_ranges(
-    n: int, workers: int, align: int = 1, grain: int | None = None
+    n: int,
+    workers: int,
+    align: int = 1,
+    grain: int | None = None,
+    boundaries: tuple[int, ...] | None = None,
 ) -> list[tuple[int, int]]:
     """Split ``[0, n)`` into contiguous ranges.
 
@@ -109,6 +114,13 @@ def chunk_ranges(
     each — possibly many more chunks than workers — with the grain
     rounded down to a whole number of alignment units (never below one).
     Fewer chunks come back when ``n`` is small (never an empty chunk).
+
+    *boundaries* is the driving vector's segment map (interior storage
+    segment offsets): each interior cut snaps to the nearest boundary
+    that is also a multiple of *align*, so chunks cover whole segments
+    and workers decode (or RLE-fold) segments without splitting them.
+    A cut only moves while the chunks stay balanced — never by more than
+    half a chunk — and run alignment always wins over segment alignment.
     """
     if n <= 0 or workers <= 1:
         return [(0, n)] if n > 0 else []
@@ -130,7 +142,40 @@ def chunk_ranges(
         if end > start:
             ranges.append((start, end))
         start = end
+    if boundaries:
+        ranges = _snap_to_boundaries(ranges, n, align, boundaries)
     return ranges
+
+
+def _snap_to_boundaries(
+    ranges: list[tuple[int, int]],
+    n: int,
+    align: int,
+    boundaries: tuple[int, ...],
+) -> list[tuple[int, int]]:
+    """Move interior cuts onto the nearest eligible segment boundary."""
+    eligible = sorted({b for b in boundaries if 0 < b < n and b % align == 0})
+    if not eligible or len(ranges) <= 1:
+        return ranges
+    span = max(1, n // len(ranges))
+    cuts: list[int] = []
+    for _, hi in ranges[:-1]:
+        i = bisect.bisect_left(eligible, hi)
+        nearest = min(
+            (b for b in eligible[max(0, i - 1):i + 1]),
+            key=lambda b: abs(b - hi),
+            default=None,
+        )
+        # only snap while chunks stay balanced (a lone far-away segment
+        # boundary must not collapse the parallelism)
+        cut = nearest if nearest is not None and 2 * abs(nearest - hi) <= span else hi
+        if not cuts or cut > cuts[-1]:
+            cuts.append(cut)
+    return [
+        (lo, hi)
+        for lo, hi in zip([0, *cuts], [*cuts, n])
+        if hi > lo
+    ]
 
 
 class PartitionPlanner:
@@ -177,7 +222,10 @@ class PartitionPlanner:
             for i, z in enumerate(zones)
         ):
             return self._sequential("no partitionable operators", plan)
-        plan.chunks = chunk_ranges(extent, self.workers, align, self.grain)
+        plan.chunks = chunk_ranges(
+            extent, self.workers, align, self.grain,
+            boundaries=self._driving_boundaries(driving),
+        )
         if len(plan.chunks) <= 1:
             return self._sequential("driving vector too small to split", plan)
         plan.frontier = self._frontier(zones)
@@ -194,6 +242,24 @@ class PartitionPlanner:
             chunks=[],
             reason=reason,
         )
+
+    def _driving_boundaries(self, driving: int) -> tuple[int, ...] | None:
+        """Segment map of the driving vector (interior storage offsets).
+
+        Only boundaries shared by every still-lazy storage column count:
+        a cut there splits no column's segment.  Materialized vectors
+        (and fully materialized lazy ones) have no map — ``None``.
+        """
+        vec = self.storage.get(self.order[driving].name)
+        if vec is None or not hasattr(vec, "lazy_items"):
+            return None
+        shared: set[int] | None = None
+        for _, handle in vec.lazy_items():
+            bounds = set(handle.boundaries())
+            shared = bounds if shared is None else shared & bounds
+            if not shared:
+                return None
+        return tuple(sorted(shared)) if shared else None
 
     # -- driving-load selection ------------------------------------------------
 

@@ -91,6 +91,11 @@ class QueryResult:
     trace: Trace
     cost: CostReport
     compiled: CompiledProgram | None
+    #: storage I/O this query caused (``bytes_scanned`` /
+    #: ``bytes_decompressed`` deltas of the store's counters) — the
+    #: observable difference between scanning plain segments, decoding
+    #: compressed ones, and folding RLE runs without decoding
+    io: dict[str, int] | None = None
 
     @property
     def milliseconds(self) -> float:
@@ -258,6 +263,12 @@ class VoodooEngine:
         if self.tuning == "auto" and self._tuner is not None:
             info.update(self._tuner.cache.info())
             info["tuned_decisions"] = len(self._tuned_decisions)
+        # cumulative storage I/O of this engine's store (all queries, all
+        # engines sharing the store): scanned = physical payload bytes
+        # read, decompressed = logical bytes decoded from non-plain
+        # segments.  Per-query deltas live on QueryResult.io.
+        info["storage_bytes_scanned"] = self.store.io.bytes_scanned
+        info["storage_bytes_decompressed"] = self.store.io.bytes_decompressed
         if self.options.native or (
             self.execution is not None and self.execution.native
         ):
@@ -401,12 +412,17 @@ class VoodooEngine:
         here: ad-hoc, prepared, and tuned-delegate alike)."""
         self._check_open()
         if self.tuning == "auto":
+            # the delegate shares this engine's store (and so its I/O
+            # counters); its result already carries the accurate delta
             return self._delegate(self._tuned_config(query))._execute_bound(query)
+        before = self.store.io.snapshot()
         if self.execution is not None and self.execution.workers > 1:
             # the parallel backend is stateful (reset_storage + plan reuse):
             # concurrent serving threads take turns
             with self._parallel_lock:
-                return self._execute_parallel(query)
+                result = self._execute_parallel(query)
+                result.io = self.store.io.delta(before)
+                return result
         compiled = self.compile(query)
         if not self.tracing:
             outputs, trace = compiled.run(self.vectors(), collect_trace=False)
@@ -416,11 +432,13 @@ class VoodooEngine:
                 trace=trace,
                 cost=CostReport(device=f"{self.options.device} (untraced)"),
                 compiled=compiled,
+                io=self.store.io.delta(before),
             )
         outputs, trace = compiled.run(self.vectors())
         table = self._extract(query, outputs["result"])
         return QueryResult(
-            table=table, trace=trace, cost=compiled.price(trace), compiled=compiled
+            table=table, trace=trace, cost=compiled.price(trace),
+            compiled=compiled, io=self.store.io.delta(before),
         )
 
     def _translate_cached(self, query: Query):

@@ -21,7 +21,7 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.relational.algebra import Plan
 
-ARITH_OPS = frozenset({"add", "sub", "mul", "div", "idiv"})
+ARITH_OPS = frozenset({"add", "sub", "mul", "div", "idiv", "mod"})
 CMP_OPS = frozenset({"gt", "ge", "lt", "le", "eq", "ne"})
 
 
@@ -43,6 +43,9 @@ class Expr:
 
     def __floordiv__(self, other) -> "Expr":
         return Arith("idiv", self, wrap(other))
+
+    def __mod__(self, other) -> "Expr":
+        return Arith("mod", self, wrap(other))
 
     def __gt__(self, other) -> "Expr":
         return Cmp("gt", self, wrap(other))

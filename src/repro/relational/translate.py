@@ -430,7 +430,7 @@ class Translator:
                 lv = self.b.cast(lv, "float64", out=".__f", source_kp=lkp)
                 lkp = Keypath(["__f"])
         fn = {"add": "add", "sub": "subtract", "mul": "multiply",
-              "div": "divide", "idiv": "divide"}[expr.op]
+              "div": "divide", "idiv": "divide", "mod": "modulo"}[expr.op]
         out = getattr(self.b, fn)(lv, rv, out=".__v", left_kp=lkp, right_kp=rkp)
         return out, Keypath(["__v"])
 

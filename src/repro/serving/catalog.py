@@ -92,6 +92,14 @@ class Catalog:
             for name, engine in sorted(self._engines.items())
         }
 
+    def storage_info(self) -> dict:
+        """Per-dataset segment/encoding/footprint summary with cumulative
+        I/O counters (every registered store, engine built or not)."""
+        return {
+            name: self._stores[name].storage_report()
+            for name in self.names()
+        }
+
     def close(self) -> None:
         for engine in self._engines.values():
             engine.close()

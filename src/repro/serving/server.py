@@ -121,6 +121,9 @@ class VoodooServer:
             # cache hits, per-kernel fallbacks) — a warm serving window
             # must show kernels_compiled flat between polls
             "native": snapshot(),
+            # per-dataset segment layout, encodings, honest footprint, and
+            # cumulative bytes_scanned / bytes_decompressed counters
+            "storage": self.catalog.storage_info(),
             "requests": self.requests,
         }
 

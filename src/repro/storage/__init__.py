@@ -1,8 +1,16 @@
-"""Columnar storage engine: tables, dictionaries, catalog, persistence."""
+"""Columnar storage engine: segmented tables, dictionaries, catalog,
+compressed/mmap persistence."""
 
-from repro.storage.columnstore import Column, ColumnStats, ColumnStore, Table
+from repro.storage.columnstore import (
+    Column,
+    ColumnStats,
+    ColumnStore,
+    Table,
+    resegment,
+)
 from repro.storage.dictionary import StringDictionary
 from repro.storage.persist import load, save
+from repro.storage.segment import Segment, encode_segment, make_segments
 
 __all__ = [
     "Column",
@@ -10,6 +18,10 @@ __all__ = [
     "ColumnStore",
     "Table",
     "StringDictionary",
+    "Segment",
+    "encode_segment",
+    "make_segments",
+    "resegment",
     "load",
     "save",
 ]

@@ -1,15 +1,35 @@
-"""Binary column-wise storage with catalog metadata.
+"""Segmented column storage with catalog metadata.
 
 The MonetDB substitute (DESIGN.md): tables are collections of typed
 columns; strings are dictionary encoded; the catalog tracks per-column
 min/max statistics — the metadata the paper's backend "aggressively
 exploits" to size hash tables and bypass collision handling (section 5.2).
+
+Since the segment refactor, a :class:`Column` is an ordered list of
+immutable :class:`~repro.storage.segment.Segment` objects (plain / RLE /
+frame-of-reference encoded, in-RAM or mmap-backed — see
+:mod:`repro.storage.segment`).  ``col.data`` still yields a plain
+``np.ndarray`` (materializing on first touch), so every consumer of the
+old whole-array contract keeps working; execution backends instead take
+the lazy :class:`~repro.storage.segment.ColumnData` view from
+``Table.to_vector()`` and only decode the columns a query touches.
+
+Column min/max are computed once at segment seal time and combined per
+column — never recomputed on access (translation's value-dependent plan
+choices hit them repeatedly).
+
+``ColumnStore.append(batch)`` seals the batch into one new segment per
+column and bumps the table version (part of the store fingerprint), so
+every cached plan, tuning entry, and materialized result keyed on
+``fingerprint()`` invalidates.  Queries after an append recompute from
+scratch — the IVM delta path is future work, but this is the segment
+contract it needs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Sequence
+from typing import Iterator, Mapping, Sequence
 
 import numpy as np
 
@@ -18,41 +38,243 @@ from repro.core.schema import check_dtype
 from repro.core.vector import StructuredVector
 from repro.errors import StorageError
 from repro.storage.dictionary import StringDictionary
+from repro.storage.segment import (
+    ColumnData,
+    IOCounters,
+    Segment,
+    encode_segment,
+    make_segments,
+)
 
 
-@dataclass
 class Column:
-    """One typed column, optionally dictionary-encoded."""
+    """One typed column: an ordered list of immutable sealed segments."""
 
-    name: str
-    data: np.ndarray
-    dictionary: StringDictionary | None = None
+    __slots__ = (
+        "name", "dictionary", "segments", "counters",
+        "_dtype", "_length", "_min", "_max", "_cache", "_whole", "cacheable",
+    )
 
-    def __post_init__(self) -> None:
-        self.data = np.asarray(self.data)
-        check_dtype(self.data.dtype)
+    def __init__(
+        self,
+        name: str,
+        data: np.ndarray | None = None,
+        dictionary: StringDictionary | None = None,
+        *,
+        segments: Sequence[Segment] | None = None,
+        dtype: np.dtype | str | None = None,
+        cacheable: bool = True,
+    ):
+        self.name = name
+        self.dictionary = dictionary
+        self.counters = IOCounters()
+        self.cacheable = cacheable
+        self._cache: np.ndarray | None = None
+        self._whole: np.ndarray | None = None
+        if segments is None:
+            arr = np.asarray(data)
+            check_dtype(arr.dtype)
+            self.segments = make_segments(arr)
+            self._dtype = arr.dtype
+            # construction from an array is zero-copy: the array *is*
+            # the plain segment payload, so keep it as the cache too
+            self._cache = arr if self.segments else None
+        else:
+            if data is not None:
+                raise StorageError("pass either data or segments, not both")
+            self.segments = list(segments)
+            if self.segments:
+                self._dtype = self.segments[0].dtype
+            elif dtype is not None:
+                self._dtype = np.dtype(dtype)
+            else:
+                raise StorageError(f"column {name!r}: empty segments need a dtype")
+            check_dtype(self._dtype)
+        self._length = sum(s.length for s in self.segments)
+        self._min, self._max = self._combine_stats()
+
+    def _combine_stats(self):
+        """Column min/max from the seal-time per-segment statistics."""
+        per = [s.stats for s in self.segments if s.stats.count]
+        if not per:
+            return None, None
+        # reduce through the column dtype so float NaN propagates exactly
+        # as a whole-array ``.min()`` would have
+        mins = np.array([s.min for s in per], dtype=self._dtype)
+        maxs = np.array([s.max for s in per], dtype=self._dtype)
+        return np.minimum.reduce(mins).item(), np.maximum.reduce(maxs).item()
 
     def __len__(self) -> int:
-        return len(self.data)
+        return self._length
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._dtype
 
     @property
     def min(self):
-        return self.data.min() if len(self.data) else None
+        return self._min
 
     @property
     def max(self):
-        return self.data.max() if len(self.data) else None
+        return self._max
+
+    @property
+    def data(self) -> np.ndarray:
+        """The whole column as one array (materializes; cached when in-RAM)."""
+        return self.materialize()
+
+    def view(self) -> ColumnData:
+        """The lazy handle execution backends fold/slice/gather through."""
+        return ColumnData(self)
+
+    # -- materialization -------------------------------------------------------
+
+    def attach_contiguous(self, whole: np.ndarray) -> None:
+        """Register a zero-copy whole-column view (all-plain mmap columns).
+
+        Unlike ``_cache``, reads through this view still count toward
+        ``bytes_scanned`` — the pages really are fetched per query.
+        """
+        if len(whole) != self._length or whole.dtype != self._dtype:
+            raise StorageError(f"column {self.name!r}: contiguous view mismatch")
+        self._whole = whole
+
+    def materialize(self) -> np.ndarray:
+        if self._cache is not None:
+            return self._cache
+        out = self.materialize_range(0, self._length)
+        if self.cacheable:
+            self._cache = out
+        return out
+
+    def materialize_range(self, lo: int, hi: int) -> np.ndarray:
+        """Decoded values of rows ``[lo, hi)`` (zero-copy when possible)."""
+        if self._cache is not None:
+            return self._cache[lo:hi]
+        if self._whole is not None:
+            out = self._whole[lo:hi]
+            self.counters.bytes_scanned += out.nbytes
+            return out
+        if len(self.segments) == 1 and self.segments[0].encoding == "plain":
+            out = self.segments[0].payload["values"][lo:hi]
+            self.counters.bytes_scanned += out.nbytes
+            return out
+        out = np.empty(hi - lo, dtype=self._dtype)
+        cursor = 0
+        offset = 0
+        for seg in self.segments:
+            seg_lo, seg_hi = offset, offset + seg.length
+            offset = seg_hi
+            if seg_hi <= lo or seg_lo >= hi:
+                continue
+            a = max(lo, seg_lo) - seg_lo
+            b = min(hi, seg_hi) - seg_lo
+            piece = seg.decode_range(a, b)
+            out[cursor:cursor + (b - a)] = piece
+            cursor += b - a
+            if seg.encoding == "plain":
+                self.counters.bytes_scanned += piece.nbytes
+            else:
+                self.counters.bytes_scanned += round(
+                    seg.physical_nbytes * (b - a) / max(seg.length, 1)
+                )
+                self.counters.bytes_decompressed += piece.nbytes
+        return out
+
+    def take(self, positions: np.ndarray) -> np.ndarray:
+        """Random access by global row position, without a full decode."""
+        if self._cache is not None:
+            return self._cache[positions]
+        positions = np.asarray(positions, dtype=np.int64)
+        if self._whole is not None:
+            out = self._whole[positions]
+            self.counters.bytes_scanned += out.nbytes
+            return out
+        starts = self._segment_starts()
+        out = np.empty(len(positions), dtype=self._dtype)
+        self.counters.bytes_scanned += out.nbytes
+        if len(self.segments) == 1:
+            out[:] = self.segments[0].take(positions)
+            return out
+        seg_of = np.searchsorted(starts, positions, side="right") - 1
+        for si in np.unique(seg_of):
+            hit = seg_of == si
+            out[hit] = self.segments[si].take(positions[hit] - starts[si])
+        return out
+
+    def _segment_starts(self) -> np.ndarray:
+        starts = np.zeros(len(self.segments) + 1, dtype=np.int64)
+        np.cumsum([s.length for s in self.segments], out=starts[1:])
+        return starts
+
+    def row_offsets(self) -> tuple[int, ...]:
+        """Interior segment boundaries (the planner's natural morsels)."""
+        out = []
+        offset = 0
+        for seg in self.segments[:-1]:
+            offset += seg.length
+            out.append(offset)
+        return tuple(out)
+
+    # -- sizes / catalog -------------------------------------------------------
+
+    @property
+    def physical_nbytes(self) -> int:
+        return sum(s.physical_nbytes for s in self.segments)
+
+    @property
+    def logical_nbytes(self) -> int:
+        return self._length * self._dtype.itemsize
+
+    def dictionary_nbytes(self) -> int:
+        """Estimated dictionary heap footprint (string bytes + refs)."""
+        if self.dictionary is None:
+            return 0
+        values = self.dictionary.values()
+        return sum(len(s.encode("utf-8", "replace")) for s in values) + 8 * len(values)
+
+    def segment_signature(self) -> tuple:
+        """Layout summary for the store fingerprint: count + encodings."""
+        return (len(self.segments), tuple(s.encoding for s in self.segments))
+
+    def encodings(self) -> tuple[str, ...]:
+        return tuple(s.encoding for s in self.segments)
+
+    def release(self) -> None:
+        """Drop decode caches and advise mapped pages away."""
+        if not self.cacheable:
+            self._cache = None
+        for seg in self.segments:
+            seg.release()
 
     def decoded(self) -> np.ndarray | list[str]:
         if self.dictionary is None:
             return self.data
         return self.dictionary.decode(self.data)
 
+    def with_segments(self, segments: Sequence[Segment],
+                      dictionary: StringDictionary | None = None) -> "Column":
+        """A new column (same name/counters policy) over other segments."""
+        col = Column(
+            self.name,
+            segments=segments,
+            dtype=self._dtype,
+            dictionary=self.dictionary if dictionary is None else dictionary,
+            cacheable=self.cacheable,
+        )
+        col.counters = self.counters
+        return col
+
+    def __repr__(self) -> str:
+        return (f"Column({self.name!r}, {self._length} rows, "
+                f"{len(self.segments)} segments, {self._dtype})")
+
 
 class Table:
     """An ordered collection of equal-length columns."""
 
-    def __init__(self, name: str, columns: Sequence[Column]):
+    def __init__(self, name: str, columns: Sequence[Column], version: int = 0):
         if not columns:
             raise StorageError(f"table {name!r} needs at least one column")
         lengths = {len(c) for c in columns}
@@ -64,6 +286,8 @@ class Table:
         self.name = name
         self.columns: dict[str, Column] = {c.name: c for c in columns}
         self.n_rows = lengths.pop()
+        #: bumped by ``ColumnStore.append`` — part of the store fingerprint
+        self.version = version
 
     @classmethod
     def from_arrays(cls, name: str, /, **arrays) -> "Table":
@@ -96,11 +320,27 @@ class Table:
         return col.dictionary
 
     def to_vector(self) -> StructuredVector:
-        """The table as a Structured Vector (one attribute per column)."""
+        """The table as a Structured Vector (one attribute per column).
+
+        Columns are handed over *lazily*: a query only decodes (or pages
+        in) the attributes its plan actually touches.
+        """
         return StructuredVector(
             self.n_rows,
-            {Keypath([c.name]): c.data for c in self.columns.values()},
+            {},
+            lazy={Keypath([c.name]): c.view() for c in self.columns.values()},
         )
+
+    def segment_boundaries(self) -> tuple[int, ...]:
+        """Interior segment boundaries shared by this table's columns.
+
+        All columns of a table are sealed on the same row grid (initial
+        segmentation and appends both split every column identically),
+        so the first column speaks for the table.
+        """
+        if not self.columns:
+            return ()
+        return next(iter(self.columns.values())).row_offsets()
 
     def __len__(self) -> int:
         return self.n_rows
@@ -140,37 +380,43 @@ class ColumnStore:
         self._tables: dict[str, Table] = {}
         self._aux: dict[str, StructuredVector] = {}
         self.meta: dict = dict(meta or {})
+        #: storage I/O accounting shared by every column of this store
+        self.io = IOCounters()
 
     # -- tables -----------------------------------------------------------------
 
     def add(self, table: Table) -> None:
         if table.name in self._tables:
             raise StorageError(f"table {table.name!r} already exists")
+        for col in table.columns.values():
+            col.counters = self.io
         self._tables[table.name] = table
 
     def fingerprint(self) -> tuple:
         """Hashable structural summary of the base tables.
 
-        Keys the engine's plan cache: adding a table (or loading a store
-        with different shapes) produces a different fingerprint and
-        invalidates cached plans.  Auxiliary vectors are *derived* caches
-        (LIKE membership tables registered during translation) and are
-        deliberately excluded — they are deterministic functions of the
-        tables and would otherwise invalidate the cache on first use.
+        Keys the engine's plan cache and the tuner's store digest:
+        adding a table, appending a batch (version bump + extra
+        segment), or re-encoding segments all produce a different
+        fingerprint and invalidate cached plans/tunings.  Auxiliary
+        vectors are *derived* caches (LIKE membership tables registered
+        during translation) and are deliberately excluded — they are
+        deterministic functions of the tables and would otherwise
+        invalidate the cache on first use.
 
-        Contract: tables are immutable once added (the store exposes no
-        mutation API).  Translation makes value-dependent plan choices
-        (e.g. the positional-join detection reads key column contents),
-        so mutating a column's array *in place* after caching a plan is
-        out of contract — it would neither change this fingerprint nor
-        invalidate the plan.
+        Contract: segments are immutable once sealed; the only mutation
+        API is :meth:`append`, which replaces columns and bumps the
+        table version.  Mutating a segment's buffer *in place* is out of
+        contract — it would neither change this fingerprint nor
+        invalidate cached plans.
         """
         return tuple(
             (
                 name,
                 len(table),
+                table.version,
                 tuple(
-                    (col_name, str(col.data.dtype))
+                    (col_name, str(col.dtype), col.segment_signature())
                     for col_name, col in table.columns.items()
                 ),
             )
@@ -188,6 +434,76 @@ class ColumnStore:
 
     def __contains__(self, name: str) -> bool:
         return name in self._tables or name in self._aux
+
+    # -- appends ----------------------------------------------------------------
+
+    def append(self, table_name: str, batch: Mapping[str, Sequence] | Table,
+               encoding: str = "plain") -> None:
+        """Seal *batch* as one new segment per column of *table_name*.
+
+        The batch must cover exactly the table's columns; string columns
+        take strings (dictionary-encoded against the column dictionary,
+        which is merged — order-preserving — when the batch introduces
+        new values, remapping the existing segments' codes).  Bumps the
+        table version, so the store fingerprint changes and every cached
+        plan / tuning / prepared result derived from the old contents
+        invalidates.  Full recompute for now; the IVM delta path (fold
+        only the new segment, merge partials) builds on this contract.
+        """
+        table = self.table(table_name)
+        if isinstance(batch, Table):
+            batch = {name: col.decoded() for name, col in batch.columns.items()}
+        if set(batch) != set(table.columns):
+            raise StorageError(
+                f"append to {table_name!r}: batch columns {sorted(batch)} "
+                f"!= table columns {sorted(table.columns)}"
+            )
+        lengths = {len(v) for v in batch.values()}
+        if len(lengths) != 1:
+            raise StorageError(f"append to {table_name!r}: column lengths differ")
+        n_new = lengths.pop()
+        if n_new == 0:
+            return
+        replacements: dict[str, Column] = {}
+        for name, col in table.columns.items():
+            values = batch[name]
+            if col.dictionary is not None:
+                new_col = self._append_strings(col, [str(v) for v in values], encoding)
+            else:
+                arr = np.asarray(values)
+                if arr.dtype != col.dtype:
+                    arr = arr.astype(col.dtype)
+                new_col = col.with_segments(
+                    [*col.segments, encode_segment(arr, encoding)]
+                )
+            replacements[name] = new_col
+        table.columns.update(replacements)
+        table.n_rows += n_new
+        table.version += 1
+        # membership tables and other aux vectors are derived from the
+        # (now stale) base contents — drop them; translation re-registers
+        self._aux.clear()
+
+    @staticmethod
+    def _append_strings(col: Column, values: list[str], encoding: str) -> Column:
+        """Append strings to a dictionary column, merging the dictionary.
+
+        The dictionary is order-preserving (sorted), so introducing new
+        strings shifts existing codes: existing segments are remapped
+        through an old-code → new-code table and resealed with their
+        original encoding.
+        """
+        merged, remap = col.dictionary.merged(values)
+        new_codes = merged.encode(values)
+        if remap is None:
+            segments = list(col.segments)
+        else:
+            segments = [
+                encode_segment(remap[seg.values()], seg.encoding)
+                for seg in col.segments
+            ]
+        segments.append(encode_segment(new_codes, encoding))
+        return col.with_segments(segments, dictionary=merged)
 
     # -- auxiliary vectors (membership tables for IN/LIKE, etc.) ------------------
 
@@ -210,12 +526,108 @@ class ColumnStore:
     def stats(self, table: str, column: str) -> ColumnStats:
         col = self.table(table).column(column)
         return ColumnStats(
-            min=None if col.min is None else col.min.item(),
-            max=None if col.max is None else col.max.item(),
+            min=col.min,
+            max=col.max,
             dictionary_size=None if col.dictionary is None else len(col.dictionary),
         )
 
+    def release(self) -> None:
+        """Drop per-column decode caches; advise mapped pages away."""
+        for table in self._tables.values():
+            for col in table.columns.values():
+                col.release()
+
     def total_bytes(self) -> int:
-        return sum(
-            col.data.nbytes for table in self._tables.values() for col in table.columns.values()
-        )
+        """Honest resident footprint: segment payloads + dictionaries + aux."""
+        report = self.memory_report()
+        return report["total_bytes"]
+
+    def memory_report(self) -> dict:
+        """Per-table / per-column physical breakdown (what total_bytes counts)."""
+        tables = {}
+        segment_bytes = dictionary_bytes = 0
+        for name, table in self._tables.items():
+            cols = {}
+            for col_name, col in table.columns.items():
+                cols[col_name] = {
+                    "physical_bytes": col.physical_nbytes,
+                    "logical_bytes": col.logical_nbytes,
+                    "dictionary_bytes": col.dictionary_nbytes(),
+                    "segments": len(col.segments),
+                    "encodings": list(col.encodings()),
+                }
+                segment_bytes += col.physical_nbytes
+                dictionary_bytes += col.dictionary_nbytes()
+            tables[name] = {"rows": table.n_rows, "version": table.version,
+                            "columns": cols}
+        aux_bytes = sum(_vector_nbytes(vec) for vec in self._aux.values())
+        return {
+            "tables": tables,
+            "segment_bytes": segment_bytes,
+            "dictionary_bytes": dictionary_bytes,
+            "aux_bytes": aux_bytes,
+            "total_bytes": segment_bytes + dictionary_bytes + aux_bytes,
+        }
+
+    def storage_report(self) -> dict:
+        """Segment/encoding summary plus I/O counters (serving ``/stats``)."""
+        encodings: dict[str, int] = {}
+        segments = 0
+        for table in self._tables.values():
+            for col in table.columns.values():
+                segments += len(col.segments)
+                for enc in col.encodings():
+                    encodings[enc] = encodings.get(enc, 0) + 1
+        report = self.memory_report()
+        return {
+            "tables": len(self._tables),
+            "segments": segments,
+            "encodings": encodings,
+            "segment_bytes": report["segment_bytes"],
+            "dictionary_bytes": report["dictionary_bytes"],
+            "aux_bytes": report["aux_bytes"],
+            "total_bytes": report["total_bytes"],
+            "io": self.io.snapshot(),
+        }
+
+
+def _vector_nbytes(vec: StructuredVector) -> int:
+    total = 0
+    for path in vec.paths:
+        handle = vec.lazy_handle(path)
+        if handle is not None:
+            total += len(handle) * handle.dtype.itemsize
+        else:
+            total += vec.attr(path).nbytes
+        mask = vec.present(path)
+        if mask is not None:
+            total += mask.nbytes
+    return total
+
+
+def resegment(
+    store: ColumnStore,
+    encoding: str = "auto",
+    segment_rows: int | None = None,
+    meta_note: str | None = None,
+) -> ColumnStore:
+    """A copy of *store* with every column resealed on a fresh segment grid.
+
+    The storage-side twin of an engine config: same logical contents
+    (queries must be bit-identical — the conformance grid's ``segmented``
+    configs verify exactly that), different physical layout.  Dictionary
+    objects are shared (immutable); auxiliary vectors are not copied —
+    translation re-derives them on demand.
+    """
+    out = ColumnStore(meta=dict(store.meta))
+    if meta_note:
+        out.meta["storage"] = meta_note
+    for table in store.tables():
+        columns = []
+        for col in table.columns.values():
+            segments = make_segments(col.data, encoding=encoding,
+                                     segment_rows=segment_rows)
+            columns.append(Column(col.name, segments=segments, dtype=col.dtype,
+                                  dictionary=col.dictionary))
+        out.add(Table(table.name, columns, version=table.version))
+    return out

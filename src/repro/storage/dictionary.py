@@ -60,6 +60,24 @@ class StringDictionary:
         except IndexError:
             raise StorageError(f"code {code} out of range (0..{len(self._values)-1})") from None
 
+    def merged(
+        self, strings: Sequence[str]
+    ) -> tuple["StringDictionary", np.ndarray | None]:
+        """``(merged dictionary, old-code → new-code remap or None)``.
+
+        Merging keeps the order-preserving invariant: the result is the
+        sorted union, so codes of *existing* values may shift — the
+        remap array (indexed by old code) rewrites already-encoded
+        segments.  ``None`` remap means every string was already present
+        and existing codes are unchanged.
+        """
+        new = [s for s in strings if s not in self._code_of]
+        if not new:
+            return self, None
+        merged = StringDictionary(self._values + tuple(new))
+        remap = np.array([merged._code_of[v] for v in self._values], dtype=np.int64)
+        return merged, remap
+
     # -- predicate resolution (plan-build time) -----------------------------------
 
     def codes_like(self, pattern: str) -> np.ndarray:

@@ -1,0 +1,526 @@
+"""Immutable column segments: the engine's storage substrate.
+
+A :class:`Segment` is a sealed, immutable run of column values carrying
+
+* an **encoding** — ``plain`` (raw values), ``rle`` (run-length:
+  ``values`` + ``lengths``), or ``for`` (frame-of-reference: per-segment
+  minimum as the reference plus byte-aligned packed deltas in the
+  smallest unsigned dtype that fits) — layered *under* the existing
+  dictionary encoding for strings (codes compress like any integers);
+* **seal-time statistics** (min / max / count) computed exactly once,
+  when the segment is created — never recomputed on access;
+* a **backing buffer** that is either in-RAM or an ``np.memmap`` view
+  into a persisted segment file (see :mod:`repro.storage.persist`).
+
+Encodings are *lossless at the bit level*: run detection on float
+columns compares the underlying bit patterns (``NaN != NaN`` and
+``-0.0 == 0.0`` would otherwise tear or merge runs), so a
+decode-after-encode round trip is ``array_equal`` on the raw bytes.
+
+Random access never requires a full decode: ``rle`` resolves positions
+by binary search over the run offsets, ``for`` fancy-indexes the packed
+deltas — the basis of the fused runtime's gather-without-decompress
+path.  Per-segment fold partials over RLE runs live in
+:mod:`repro.compiler.kernels` (:func:`~repro.compiler.kernels.fold_runs`).
+
+``IOCounters`` tracks the two numbers every out-of-core report needs:
+``bytes_scanned`` (physical stored bytes read from segment payloads)
+and ``bytes_decompressed`` (logical bytes materialized by decoding
+non-plain segments).  A query that folds straight over compressed runs
+scans without decompressing.
+"""
+
+from __future__ import annotations
+
+import mmap as _mmap_mod
+
+import numpy as np
+
+from repro.errors import StorageError
+
+ENCODINGS = ("plain", "rle", "for")
+
+#: default rows per sealed segment (also the natural morsel size the
+#: partition planner snaps chunk boundaries to)
+DEFAULT_SEGMENT_ROWS = 1 << 18
+
+#: accept RLE only when the run payload is at most this fraction of plain
+_RLE_ACCEPT_RATIO = 0.5
+
+
+class IOCounters:
+    """Cumulative storage I/O accounting (shared by all columns of a store).
+
+    ``bytes_scanned``: physical bytes read from segment payloads — for a
+    plain segment that equals the logical bytes; for a compressed one it
+    is the (smaller) stored size.  ``bytes_decompressed``: logical bytes
+    produced by *decoding* a non-plain segment into a scratch array.
+    Fold/filter paths that work directly on runs scan without ever
+    decompressing.  Plain ``int`` increments: exact single-threaded,
+    approximate (but never crashing) under concurrent serving.
+    """
+
+    __slots__ = ("bytes_scanned", "bytes_decompressed")
+
+    def __init__(self) -> None:
+        self.bytes_scanned = 0
+        self.bytes_decompressed = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "bytes_scanned": self.bytes_scanned,
+            "bytes_decompressed": self.bytes_decompressed,
+        }
+
+    def delta(self, before: dict[str, int]) -> dict[str, int]:
+        return {
+            "bytes_scanned": self.bytes_scanned - before["bytes_scanned"],
+            "bytes_decompressed": self.bytes_decompressed - before["bytes_decompressed"],
+        }
+
+
+class SegmentStats:
+    """Seal-time statistics of one segment (computed once, then read)."""
+
+    __slots__ = ("min", "max", "count")
+
+    def __init__(self, min_, max_, count: int):
+        self.min = min_
+        self.max = max_
+        self.count = int(count)
+
+    @classmethod
+    def seal(cls, values: np.ndarray) -> "SegmentStats":
+        if len(values) == 0:
+            return cls(None, None, 0)
+        # NaN-propagating min/max, matching what ``array.min()`` reported
+        # before stats were cached (translation's plan choices see the
+        # same values they always did)
+        return cls(values.min().item(), values.max().item(), len(values))
+
+    def to_json(self) -> dict:
+        return {"min": self.min, "max": self.max, "count": self.count}
+
+    @classmethod
+    def from_json(cls, data: dict) -> "SegmentStats":
+        return cls(data["min"], data["max"], data["count"])
+
+
+def _bitwise(values: np.ndarray) -> np.ndarray:
+    """A view suitable for exact (bit-level) run comparison."""
+    if values.dtype.kind == "f":
+        return values.view(np.dtype(f"i{values.dtype.itemsize}"))
+    if values.dtype.kind == "b":
+        return values.view(np.uint8)
+    return values
+
+
+class Segment:
+    """One immutable, sealed run of column values."""
+
+    __slots__ = ("encoding", "dtype", "length", "stats", "payload", "meta", "_offsets")
+
+    def __init__(
+        self,
+        encoding: str,
+        dtype: np.dtype,
+        length: int,
+        stats: SegmentStats,
+        payload: dict[str, np.ndarray],
+        meta: dict | None = None,
+    ):
+        if encoding not in ENCODINGS:
+            raise StorageError(f"unknown segment encoding {encoding!r}")
+        self.encoding = encoding
+        self.dtype = np.dtype(dtype)
+        self.length = int(length)
+        self.stats = stats
+        self.payload = payload
+        self.meta = meta or {}
+        self._offsets: np.ndarray | None = None
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def plain(cls, values: np.ndarray, stats: SegmentStats | None = None) -> "Segment":
+        values = np.ascontiguousarray(values)
+        return cls("plain", values.dtype, len(values),
+                   stats or SegmentStats.seal(values), {"values": values})
+
+    @classmethod
+    def rle(cls, run_values: np.ndarray, run_lengths: np.ndarray,
+            stats: SegmentStats) -> "Segment":
+        return cls("rle", run_values.dtype, int(run_lengths.sum()), stats,
+                   {"values": np.ascontiguousarray(run_values),
+                    "lengths": np.ascontiguousarray(run_lengths)})
+
+    # -- sizes ---------------------------------------------------------------
+
+    @property
+    def physical_nbytes(self) -> int:
+        return sum(int(a.nbytes) for a in self.payload.values())
+
+    @property
+    def logical_nbytes(self) -> int:
+        return self.length * self.dtype.itemsize
+
+    # -- decoding ------------------------------------------------------------
+
+    def values(self) -> np.ndarray:
+        """The decoded values (zero-copy for plain segments)."""
+        if self.encoding == "plain":
+            return self.payload["values"]
+        if self.encoding == "rle":
+            return np.repeat(self.payload["values"], self.payload["lengths"])
+        reference = self.meta["reference"]
+        return self.payload["packed"].astype(self.dtype) + self.dtype.type(reference)
+
+    def decode_range(self, lo: int, hi: int) -> np.ndarray:
+        """Decoded values of local rows ``[lo, hi)``."""
+        if self.encoding == "plain":
+            return self.payload["values"][lo:hi]
+        if self.encoding == "for":
+            reference = self.meta["reference"]
+            packed = self.payload["packed"][lo:hi]
+            return packed.astype(self.dtype) + self.dtype.type(reference)
+        values, lengths = self.run_slice(lo, hi)
+        return np.repeat(values, lengths)
+
+    def run_slice(self, lo: int, hi: int) -> tuple[np.ndarray, np.ndarray]:
+        """(run values, run lengths) covering local rows ``[lo, hi)`` of
+        an RLE segment, with the edge runs clipped to the range."""
+        if hi <= lo:
+            return (self.payload["values"][:0],
+                    np.empty(0, dtype=np.int64))
+        offsets = self.run_offsets()
+        first = int(np.searchsorted(offsets, lo, side="right"))
+        last = int(np.searchsorted(offsets, hi - 1, side="right"))
+        values = self.payload["values"][first:last + 1]
+        ends = np.minimum(offsets[first:last + 1], hi)
+        starts = np.empty(last + 1 - first, dtype=np.int64)
+        starts[0] = lo
+        starts[1:] = offsets[first:last]
+        return values, ends - starts
+
+    def run_offsets(self) -> np.ndarray:
+        """Cumulative run end positions of an RLE segment (cached)."""
+        if self._offsets is None:
+            self._offsets = np.cumsum(
+                self.payload["lengths"], dtype=np.int64
+            )
+        return self._offsets
+
+    def take(self, positions: np.ndarray) -> np.ndarray:
+        """Random access by local position — no full decode for any encoding.
+
+        ``rle`` binary-searches the run offsets; ``for`` fancy-indexes
+        the packed deltas.  Returns a fresh array.
+        """
+        if self.encoding == "plain":
+            return self.payload["values"][positions]
+        if self.encoding == "for":
+            reference = self.meta["reference"]
+            return (self.payload["packed"][positions].astype(self.dtype)
+                    + self.dtype.type(reference))
+        runs = np.searchsorted(self.run_offsets(), positions, side="right")
+        return self.payload["values"][runs]
+
+    # -- buffer management ---------------------------------------------------
+
+    def is_mapped(self) -> bool:
+        return any(isinstance(a, np.memmap) for a in self.payload.values())
+
+    def release(self) -> None:
+        """Advise the kernel to drop this segment's resident file pages.
+
+        No-op for in-RAM segments; keeps an out-of-core scan's resident
+        set bounded to the segments currently being read.
+        """
+        for array in self.payload.values():
+            mapped = getattr(array, "_mmap", None)
+            if mapped is not None and hasattr(mapped, "madvise"):
+                try:
+                    mapped.madvise(_mmap_mod.MADV_DONTNEED)
+                except (ValueError, OSError):  # closed or platform-limited
+                    pass
+
+
+# ---------------------------------------------------------------- encoding
+
+
+def _encode_rle(values: np.ndarray) -> tuple[np.ndarray, np.ndarray] | None:
+    """(run values, run lengths) by exact bit-level run detection, or
+    ``None`` when RLE would not be worth storing."""
+    n = len(values)
+    if n == 0:
+        return None
+    bits = _bitwise(values)
+    is_start = np.empty(n, dtype=bool)
+    is_start[0] = True
+    np.not_equal(bits[1:], bits[:-1], out=is_start[1:])
+    starts = np.flatnonzero(is_start)
+    run_values = np.ascontiguousarray(values[starts])
+    run_lengths = np.diff(starts, append=n).astype(np.int32)
+    payload = run_values.nbytes + run_lengths.nbytes
+    if payload > values.nbytes * _RLE_ACCEPT_RATIO:
+        return None
+    return run_values, run_lengths
+
+
+def _encode_for(values: np.ndarray) -> tuple[np.ndarray, int, int] | None:
+    """(packed deltas, reference, width bits) or ``None`` when FoR does
+    not apply (non-integers, empty, or no narrower packed dtype)."""
+    if values.dtype.kind not in "iu" or len(values) == 0:
+        return None
+    lo = int(values.min())
+    hi = int(values.max())
+    span = hi - lo
+    for width, packed_dtype in ((8, np.uint8), (16, np.uint16), (32, np.uint32)):
+        if span < (1 << width) and width < values.dtype.itemsize * 8:
+            packed = (values.astype(np.int64) - lo).astype(packed_dtype)
+            return packed, lo, width
+    return None
+
+
+def encode_segment(values: np.ndarray, encoding: str = "plain") -> Segment:
+    """Seal *values* into one segment with the requested encoding.
+
+    ``auto`` picks the cheapest applicable encoding (RLE when runs pay,
+    else FoR for narrow integer ranges, else plain); asking explicitly
+    for ``rle``/``for`` falls back to plain when the encoding does not
+    apply — encodings are an optimization, never a requirement.
+    """
+    values = np.ascontiguousarray(values)
+    stats = SegmentStats.seal(values)
+    if encoding in ("rle", "auto"):
+        encoded = _encode_rle(values)
+        if encoded is not None:
+            return Segment.rle(encoded[0], encoded[1], stats)
+        if encoding == "rle":
+            return Segment.plain(values, stats)
+    if encoding in ("for", "auto"):
+        packed = _encode_for(values)
+        if packed is not None:
+            return Segment(
+                "for", values.dtype, len(values), stats,
+                {"packed": packed[0]},
+                {"reference": packed[1], "width": packed[2]},
+            )
+        if encoding == "for":
+            return Segment.plain(values, stats)
+    if encoding in ("plain", "auto", "rle", "for"):
+        return Segment.plain(values, stats)
+    raise StorageError(f"unknown encoding {encoding!r}")
+
+
+def make_segments(
+    values: np.ndarray,
+    encoding: str = "plain",
+    segment_rows: int | None = None,
+) -> list[Segment]:
+    """Seal *values* into an ordered list of segments.
+
+    ``segment_rows=None`` seals one segment spanning the array (the
+    in-RAM construction default — zero-copy for plain).  An empty array
+    produces an empty list.
+    """
+    values = np.asarray(values)
+    n = len(values)
+    if n == 0:
+        return []
+    if segment_rows is None or segment_rows >= n:
+        return [encode_segment(values, encoding)]
+    rows = max(1, int(segment_rows))
+    return [
+        encode_segment(values[lo:min(lo + rows, n)], encoding)
+        for lo in range(0, n, rows)
+    ]
+
+
+# --------------------------------------------------------------- lazy views
+
+
+class ColumnData:
+    """A lazily-materialized ``[lo, hi)`` row view over a segmented column.
+
+    The handle the storage layer hands to execution backends in place of
+    a materialized array: it knows its dtype and length up front, and
+    materializes (or random-accesses, or iterates runs) only when a
+    kernel actually touches the data.  Slicing composes without reading
+    anything.
+    """
+
+    __slots__ = ("column", "lo", "hi")
+
+    def __init__(self, column, lo: int = 0, hi: int | None = None):
+        self.column = column
+        self.lo = int(lo)
+        self.hi = len(column) if hi is None else int(hi)
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.column.dtype
+
+    def __len__(self) -> int:
+        return self.hi - self.lo
+
+    def slice(self, lo: int, hi: int) -> "ColumnData":
+        lo = max(0, min(lo, len(self)))
+        hi = max(lo, min(hi, len(self)))
+        return ColumnData(self.column, self.lo + lo, self.lo + hi)
+
+    def materialize(self) -> np.ndarray:
+        return self.column.materialize_range(self.lo, self.hi)
+
+    def take(self, positions: np.ndarray) -> np.ndarray:
+        """Values at view-local positions (no full decode)."""
+        if self.lo:
+            positions = np.asarray(positions, dtype=np.int64) + self.lo
+        return self.column.take(positions)
+
+    def has_compressed(self) -> bool:
+        return any(
+            seg.encoding != "plain" for seg, _, _ in self._pieces()
+        )
+
+    def has_rle(self) -> bool:
+        return any(seg.encoding == "rle" for seg, _, _ in self._pieces())
+
+    def _pieces(self):
+        """Yields (segment, local lo, local hi) covering this view."""
+        offset = 0
+        for seg in self.column.segments:
+            seg_lo, seg_hi = offset, offset + seg.length
+            offset = seg_hi
+            if seg_hi <= self.lo or seg_lo >= self.hi:
+                continue
+            yield seg, max(self.lo, seg_lo) - seg_lo, min(self.hi, seg_hi) - seg_lo
+
+    def run_pairs(self):
+        """Yields ``(values, lengths_or_None)`` per covered segment piece.
+
+        ``lengths is None`` marks a plain piece (values are the rows
+        themselves); an RLE piece yields its clipped runs; a FoR piece
+        decodes (it has no run structure to exploit).  Scanned bytes are
+        accounted; nothing is counted as decompressed unless a non-plain
+        piece actually expands.
+        """
+        counters = self.column.counters
+        for seg, lo, hi in self._pieces():
+            if seg.encoding == "rle":
+                values, lengths = seg.run_slice(lo, hi)
+                counters.bytes_scanned += values.nbytes + lengths.nbytes
+                yield values, lengths
+            else:
+                values = seg.decode_range(lo, hi)
+                counters.bytes_scanned += (
+                    values.nbytes if seg.encoding == "plain"
+                    else (hi - lo) * seg.payload["packed"].dtype.itemsize
+                )
+                if seg.encoding != "plain":
+                    counters.bytes_decompressed += values.nbytes
+                yield values, None
+
+    def boundaries(self) -> tuple[int, ...]:
+        """Segment boundaries interior to this view, view-local."""
+        out = []
+        offset = 0
+        for seg in self.column.segments:
+            offset += seg.length
+            if self.lo < offset < self.hi:
+                out.append(offset - self.lo)
+        return tuple(out)
+
+    def fold(self, fn: str):
+        """Fold ``sum``/``min``/``max`` directly over the segments.
+
+        Returns a 0-d result array, or ``None`` when the fold cannot be
+        computed bit-identically without decompressing (float sums — the
+        sequential accumulation order differs from per-run multiplies).
+        RLE pieces fold over their runs (:func:`repro.compiler.kernels.fold_runs`),
+        plain/FoR pieces over values; per-segment partials combine in
+        segment order, preserving the exact fold semantics of the
+        uniform-run kernels.
+        """
+        from repro.compiler import kernels
+
+        if fn not in ("sum", "min", "max"):
+            return None
+        if fn == "sum" and self.dtype.kind == "f":
+            return None
+        counters = self.column.counters
+        partials = []
+        for seg, lo, hi in self._pieces():
+            if seg.encoding == "rle":
+                values, lengths = seg.run_slice(lo, hi)
+                counters.bytes_scanned += values.nbytes + lengths.nbytes
+                partials.append(kernels.fold_runs(fn, values, lengths))
+            else:
+                values = seg.decode_range(lo, hi)
+                counters.bytes_scanned += (
+                    values.nbytes if seg.encoding == "plain"
+                    else (hi - lo) * seg.payload["packed"].dtype.itemsize
+                )
+                if seg.encoding != "plain":
+                    counters.bytes_decompressed += values.nbytes
+                partials.append(kernels.fold_runs(fn, values, None))
+        if not partials:
+            return None
+        return kernels.combine_fold_partials(fn, partials)
+
+    def fold_grained(self, fn: str, run_length: int) -> np.ndarray | None:
+        """Per-run partial sums for uniform runs of *run_length*, straight
+        off the segments (RLE runs are never decoded).
+
+        Covers integer/bool ``sum`` only — the one grained combination
+        that is order-independent (int64 arithmetic wraps mod 2**64, so
+        prefix-sum differences over runs equal the kernel's row-wise
+        sums bit for bit).  A ragged final run (``run_length`` not
+        dividing the view) is fine.  Returns the int64 partials vector
+        (length ``ceil(len(self) / run_length)``, matching the fold
+        kernels' per-run values for a dense input) or ``None`` when
+        ineligible.
+        """
+        n = len(self)
+        if fn != "sum" or self.dtype.kind not in "iub":
+            return None
+        if run_length <= 0 or n == 0 or not self.has_rle():
+            return None
+        out = np.zeros(-(-n // run_length), dtype=np.int64)
+        counters = self.column.counters
+        base = 0  # view-local row offset of the current piece
+        for seg, lo, hi in self._pieces():
+            piece_len = hi - lo
+            c0 = base // run_length
+            c1 = (base + piece_len - 1) // run_length
+            # view-local run boundaries this piece touches, clipped to the
+            # piece and rebased piece-local — strictly increasing
+            cuts = np.arange(c0, c1 + 2, dtype=np.int64) * run_length
+            cuts = np.clip(cuts, base, base + piece_len) - base
+            if seg.encoding == "rle":
+                values, lengths = seg.run_slice(lo, hi)
+                counters.bytes_scanned += values.nbytes + lengths.nbytes
+                runs = lengths.astype(np.int64)
+                ends = np.cumsum(runs)
+                vals = values.astype(np.int64)
+                prefix = np.cumsum(vals * runs)
+                # sum of piece rows [0, x): whole runs before x, plus the
+                # covered prefix of the run containing x — all mod 2**64
+                r = np.searchsorted(ends, cuts, side="left")
+                r = np.minimum(r, len(vals) - 1)
+                upto = prefix[r] - vals[r] * (ends[r] - cuts)
+                partial = upto[1:] - upto[:-1]
+            else:
+                values = seg.decode_range(lo, hi)
+                counters.bytes_scanned += (
+                    values.nbytes if seg.encoding == "plain"
+                    else piece_len * seg.payload["packed"].dtype.itemsize
+                )
+                if seg.encoding != "plain":
+                    counters.bytes_decompressed += values.nbytes
+                partial = np.add.reduceat(
+                    values.astype(np.int64, copy=False), cuts[:-1]
+                )
+            out[c0:c1 + 1] += partial
+            base += piece_len
+        return out

@@ -59,8 +59,23 @@ class BackendConfig:
     #: configuration the tuner picks for this case must still bit-match
     #: the reference — tuning may never change results
     tuned: bool = False
+    #: reseal the store before executing (``"plain-small"`` resegments
+    #: every column into tiny plain segments, ``"auto"`` additionally
+    #: lets RLE/FoR encodings engage): results must be invariant under
+    #: physical storage layout, lazy decode, and compressed folding
+    resegment: str | None = None
 
     def engine(self, store, grain: int) -> VoodooEngine:
+        if self.resegment is not None:
+            from repro.storage.columnstore import resegment
+
+            # deliberately tiny, non-round segments: cases are small, and
+            # odd boundaries fuzz segment-spanning slices/takes/folds
+            store = resegment(
+                store,
+                encoding="plain" if self.resegment == "plain-small" else "auto",
+                segment_rows=17 if self.resegment == "plain-small" else 13,
+            )
         if self.tuned:
             from repro.tuner import AutoTuner, compact_space
 
@@ -107,6 +122,10 @@ BACKEND_GRID: tuple[BackendConfig, ...] = (
                   exec_fastpath=False),
     BackendConfig("parallel-w4-fused", CompilerOptions(), workers=4),
     BackendConfig("tuned", tuned=True),
+    BackendConfig("segmented", CompilerOptions(), tracing=False,
+                  resegment="plain-small"),
+    BackendConfig("segmented-compressed", CompilerOptions(), workers=2,
+                  resegment="auto"),
 )
 
 

@@ -144,6 +144,8 @@ class Oracle:
                 if lv.dtype.kind in "iub":
                     lv = lv.astype(np.float64)
                 return _divide(lv, rv), mask
+            if e.op == "mod":  # floored remainder, zero divisor inert
+                return lv % np.where(rv == 0, 1, rv), mask
             return _divide(lv, rv), mask  # idiv
     def _if_then_else(self, e: ex.IfThenElse, rel: _Rel):
         cv, cm = self.expr(e.cond, rel)

@@ -143,7 +143,7 @@ class _QueryGen:
             return self._float_lit()
         roll = self.rng.random()
         if roll < 0.60:
-            op = self._choice(["add", "sub", "mul", "div", "idiv"])
+            op = self._choice(["add", "sub", "mul", "div", "idiv", "mod"])
             return Arith(op, self.num_expr(depth - 1), self.num_expr(depth - 1))
         if roll < 0.75:
             return IfThenElse(self.bool_expr(depth - 1),

@@ -21,6 +21,7 @@ from repro.core.vector import StructuredVector
 from repro.relational import algebra as ra
 from repro.relational.expressions import (
     Col,
+    Expr,
     IfThenElse,
     InSet,
     Lit,
@@ -28,7 +29,7 @@ from repro.relational.expressions import (
     ScalarOf,
 )
 from repro.storage import ColumnStore
-from repro.tpch.schema import date
+from repro.tpch.schema import SUPPLIERS_PER_PART, date
 
 #: queries shown in the paper's CPU figure (13) and GPU figure (12)
 CPU_QUERIES = (1, 4, 5, 6, 7, 8, 9, 10, 11, 12, 14, 15, 19, 20)
@@ -49,6 +50,41 @@ def _codes_in(store: ColumnStore, table: str, column: str, values) -> tuple:
 
 def _n(store: ColumnStore, table: str) -> int:
     return len(store.table(table))
+
+
+def _partsupp_slot(store: ColumnStore, partkey: str, suppkey: str) -> Expr | None:
+    """Replica index of a (partkey, suppkey) pair, or ``None``.
+
+    The spec associates each part with ``SUPPLIERS_PER_PART`` suppliers
+    via ``suppkey = (partkey + r*q) % n_supp + 1`` where
+    ``q = n_supp // SUPPLIERS_PER_PART + 1``.  When ``(spp-1)*q <
+    n_supp`` the replica ``r`` is recovered unambiguously from the pair;
+    tiny scales where the inversion would alias return ``None`` (their
+    dense product domain is small anyway).
+    """
+    n_supp = _n(store, "supplier")
+    spp = SUPPLIERS_PER_PART
+    q = n_supp // spp + 1
+    if (spp - 1) * q >= n_supp:
+        return None
+    return ((Col(suppkey) - Lit(1) - Col(partkey)) % Lit(n_supp)) // Lit(q)
+
+
+def _partsupp_ck(store: ColumnStore, partkey: str, suppkey: str):
+    """Linearization of the (partkey, suppkey) composite key, with its
+    direct-address domain: ``(partkey-1)*spp + slot`` (domain
+    ``spp * n_part``) when the replica inversion is clean, else the
+    dense ``n_part * n_supp`` product — 2e9 slots at SF 1, which no
+    direct-addressed table should pay for partsupp's 0.04% fill.
+    """
+    pk = Col(partkey)
+    n_supp = _n(store, "supplier")
+    n_part = _n(store, "part")
+    spp = SUPPLIERS_PER_PART
+    slot = _partsupp_slot(store, partkey, suppkey)
+    if slot is not None:
+        return (pk - Lit(1)) * Lit(spp) + slot, n_part * spp
+    return (pk - Lit(1)) * Lit(n_supp) + (Col(suppkey) - Lit(1)), n_part * n_supp
 
 
 def _key(store: ColumnStore, table: str, column: str, name: str | None = None) -> ra.KeySpec:
@@ -281,13 +317,12 @@ def q8(store: ColumnStore, nation: str = "BRAZIL", region: str = "AMERICA",
 def q9(store: ColumnStore, color: str = "green") -> ra.Query:
     """Product type profit measure."""
     aux = _name_like_partkeys(store, f"%{color}%")
-    n_supp = _n(store, "supplier")
     plan = ra.Filter(ra.Scan("lineitem"), Membership(Col("l_partkey"), aux))
-    fact_ck = (Col("l_partkey") - Lit(1)) * Lit(n_supp) + (Col("l_suppkey") - Lit(1))
-    dim_ck = (Col("ps_partkey") - Lit(1)) * Lit(n_supp) + (Col("ps_suppkey") - Lit(1))
+    fact_ck, domain = _partsupp_ck(store, "l_partkey", "l_suppkey")
+    dim_ck, _ = _partsupp_ck(store, "ps_partkey", "ps_suppkey")
     plan = ra.Join(plan, ra.Scan("partsupp"), fact_key=fact_ck, dim_key=dim_ck,
                    pull={"ps_supplycost": "ps_supplycost"},
-                   domain=_n(store, "part") * n_supp, offset=0)
+                   domain=domain, offset=0)
     plan = _join_orders(plan, store, {"o_orderdate": "o_orderdate"})
     plan = _join_supplier(plan, store, {"s_nationkey": "s_nationkey"})
     plan = _join_nation(plan, store, "s_nationkey", {"nation": "n_name"})
@@ -484,20 +519,35 @@ def q20(store: ColumnStore, color: str = "forest", start_year: int = 1994,
     n_supp = _n(store, "supplier")
     aux = _name_like_partkeys(store, f"{color}%")
 
+    windowed = ra.Filter(
+        ra.Scan("lineitem"),
+        (Col("l_shipdate") >= Lit(lo)) & (Col("l_shipdate") < Lit(hi)),
+    )
+    slot = _partsupp_slot(store, "l_partkey", "l_suppkey")
+    if slot is not None:
+        # compact (partkey, replica) keying — the aggregation domain and
+        # the join table stay partsupp-sized instead of part x supplier
+        windowed = ra.Map(windowed, {"l_slot": slot})
+        keys = [ra.KeySpec("l_partkey", Col("l_partkey"),
+                           card=_n(store, "part"), offset=1),
+                ra.KeySpec("l_slot", Col("l_slot"),
+                           card=SUPPLIERS_PER_PART, offset=0)]
+        dim_ck = (Col("l_partkey") - Lit(1)) * Lit(SUPPLIERS_PER_PART) + Col("l_slot")
+    else:
+        keys = [ra.KeySpec("l_partkey", Col("l_partkey"),
+                           card=_n(store, "part"), offset=1),
+                ra.KeySpec("l_suppkey", Col("l_suppkey"), card=n_supp, offset=1)]
+        dim_ck = (Col("l_partkey") - Lit(1)) * Lit(n_supp) + (Col("l_suppkey") - Lit(1))
     shipped = ra.GroupBy(
-        ra.Filter(ra.Scan("lineitem"),
-                  (Col("l_shipdate") >= Lit(lo)) & (Col("l_shipdate") < Lit(hi))),
-        keys=[ra.KeySpec("l_partkey", Col("l_partkey"),
-                         card=_n(store, "part"), offset=1),
-              ra.KeySpec("l_suppkey", Col("l_suppkey"), card=n_supp, offset=1)],
+        windowed,
+        keys=keys,
         aggs={"sum_qty": ra.AggSpec("sum", Col("l_quantity"))},
     )
-    fact_ck = (Col("ps_partkey") - Lit(1)) * Lit(n_supp) + (Col("ps_suppkey") - Lit(1))
-    dim_ck = (Col("l_partkey") - Lit(1)) * Lit(n_supp) + (Col("l_suppkey") - Lit(1))
+    fact_ck, domain = _partsupp_ck(store, "ps_partkey", "ps_suppkey")
     candidates = ra.Filter(ra.Scan("partsupp"), Membership(Col("ps_partkey"), aux))
     candidates = ra.Join(candidates, shipped, fact_key=fact_ck, dim_key=dim_ck,
                          pull={"sum_qty": "sum_qty"},
-                         domain=_n(store, "part") * n_supp, offset=0)
+                         domain=domain, offset=0)
     candidates = ra.Filter(
         candidates,
         Col("ps_availqty") > Lit(0.5) * Col("sum_qty"),

@@ -53,6 +53,7 @@ class TestPlanCache:
             "plan_hits": 1, "plan_misses": 1,
             "program_hits": 0, "program_misses": 0,
             "size": 1, "programs": 0,
+            "storage_bytes_scanned": 0, "storage_bytes_decompressed": 0,
         }
         assert second.compiled is first.compiled  # codegen really skipped
         for column in first.table.columns:
@@ -73,6 +74,7 @@ class TestPlanCache:
             "plan_hits": 0, "plan_misses": 0,
             "program_hits": 0, "program_misses": 0,
             "size": 0, "programs": 0,
+            "storage_bytes_scanned": 0, "storage_bytes_decompressed": 0,
         }
 
     def test_parallel_path_caches_programs(self):

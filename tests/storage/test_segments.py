@@ -1,0 +1,452 @@
+"""The segmented storage substrate: encodings, mmap, append, planner.
+
+Property tests pin the contracts of :mod:`repro.storage.segment` and its
+integration points:
+
+* every encoding round-trips every dtype **bit-exactly** (NaN payloads,
+  ``-0.0``, ±Inf included) through encode, slice, take, and persistence
+  (both ``mmap`` modes);
+* seal-time min/max stats answer catalog queries without touching
+  payload bytes;
+* ``ColumnStore.append`` seals new segments, merges dictionaries, and
+  invalidates the plan-cache fingerprint;
+* ``total_bytes`` honestly accounts segments + dictionaries + aux;
+* ``chunk_ranges`` snaps morsel cuts to segment boundaries without
+  breaking run alignment or balance;
+* queries are invariant under physical layout (plain vs segmented vs
+  compressed vs mmap-loaded), and RLE folds run without decompressing.
+"""
+
+import glob
+import json
+import tempfile
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.parallel.planner import chunk_ranges
+from repro.relational import EngineConfig, VoodooEngine
+from repro.storage import (
+    ColumnStore,
+    Table,
+    encode_segment,
+    load,
+    make_segments,
+    resegment,
+    save,
+)
+from repro.storage.columnstore import Column
+from repro.storage.segment import DEFAULT_SEGMENT_ROWS
+
+# -- strategies ---------------------------------------------------------------
+
+runny_ints = st.lists(
+    st.integers(min_value=-5, max_value=5), min_size=0, max_size=120
+).map(lambda xs: np.repeat(np.array(xs, dtype=np.int64), 3))
+
+wide_ints = st.lists(
+    st.integers(min_value=-(2**62), max_value=2**62), min_size=0, max_size=60
+).map(lambda xs: np.array(xs, dtype=np.int64))
+
+floats = st.lists(
+    st.floats(allow_nan=True, allow_infinity=True, width=64),
+    min_size=0, max_size=60,
+).map(lambda xs: np.array(xs, dtype=np.float64))
+
+bools = st.lists(st.booleans(), min_size=0, max_size=80).map(
+    lambda xs: np.array(xs, dtype=bool)
+)
+
+narrow = st.lists(
+    st.integers(min_value=0, max_value=255), min_size=0, max_size=60
+).map(lambda xs: np.array(xs, dtype=np.int32))
+
+any_values = st.one_of(runny_ints, wide_ints, floats, bools, narrow)
+
+
+def bit_equal(a: np.ndarray, b: np.ndarray) -> bool:
+    """Exact bit identity: NaN payloads and -0.0 vs 0.0 distinguished."""
+    return a.dtype == b.dtype and len(a) == len(b) and a.tobytes() == b.tobytes()
+
+
+# -- encodings ---------------------------------------------------------------
+
+
+class TestEncodingRoundTrip:
+    @pytest.mark.parametrize("encoding", ["plain", "rle", "for", "auto"])
+    @given(values=any_values)
+    @settings(max_examples=40, deadline=None)
+    def test_bit_exact(self, encoding, values):
+        seg = encode_segment(values, encoding)
+        assert seg.length == len(values)
+        assert bit_equal(seg.values(), values)
+
+    @pytest.mark.parametrize("encoding", ["plain", "rle", "for", "auto"])
+    def test_edge_cases(self, encoding):
+        for values in (
+            np.array([], dtype=np.int64),
+            np.array([7], dtype=np.int64),
+            np.zeros(50, dtype=np.int64),
+            np.array([np.nan, np.nan, -0.0, 0.0, np.inf, -np.inf] * 5),
+            np.arange(100, dtype=np.int64),
+        ):
+            seg = encode_segment(values, encoding)
+            assert bit_equal(seg.values(), values)
+
+    def test_rle_rejects_incompressible(self):
+        values = np.arange(1000, dtype=np.int64)
+        assert encode_segment(values, "rle").encoding == "plain"
+
+    def test_for_narrows_width(self):
+        values = np.arange(1_000_000, 1_000_100, dtype=np.int64)
+        seg = encode_segment(values, "for")
+        assert seg.encoding == "for"
+        assert seg.physical_nbytes < values.nbytes
+        assert bit_equal(seg.values(), values)
+
+    def test_for_refuses_floats(self):
+        assert encode_segment(np.ones(100), "for").encoding == "plain"
+
+    @given(values=any_values, data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_decode_range_and_take(self, values, data):
+        seg = encode_segment(values, "auto")
+        n = len(values)
+        lo = data.draw(st.integers(0, n))
+        hi = data.draw(st.integers(lo, n))
+        assert bit_equal(seg.decode_range(lo, hi), values[lo:hi])
+        if n:
+            pos = np.array(
+                data.draw(st.lists(st.integers(0, n - 1), max_size=20)),
+                dtype=np.int64,
+            )
+            assert bit_equal(seg.take(pos), values[pos])
+
+
+class TestColumnView:
+    @given(values=any_values, data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_multi_segment_slice_take_fold(self, values, data):
+        rows = data.draw(st.integers(1, max(1, len(values))))
+        col = Column("c", segments=make_segments(values, "auto", rows),
+                     dtype=values.dtype)
+        assert bit_equal(col.data, values)
+        n = len(values)
+        lo = data.draw(st.integers(0, n))
+        hi = data.draw(st.integers(lo, n))
+        view = col.view().slice(lo, hi)
+        assert bit_equal(view.materialize(), values[lo:hi])
+        if hi > lo:
+            pos = np.array(
+                data.draw(st.lists(st.integers(0, hi - lo - 1), max_size=20)),
+                dtype=np.int64,
+            )
+            assert bit_equal(view.take(pos), values[lo:hi][pos])
+
+    @given(values=st.one_of(runny_ints, bools))
+    @settings(max_examples=30, deadline=None)
+    def test_rle_fold_bit_identity(self, values):
+        col = Column("c", segments=make_segments(values, "rle", 16),
+                     dtype=values.dtype)
+        view = col.view()
+        for fn, ufunc in (("sum", np.add), ("min", np.minimum), ("max", np.maximum)):
+            folded = view.fold(fn)
+            if not len(values):
+                continue
+            expect = ufunc.reduce(
+                values.astype(np.int64) if fn == "sum" else values
+            )
+            assert folded is not None
+            assert folded.item() == expect
+
+    def test_float_sum_fold_declines(self):
+        values = np.repeat(np.array([0.1, 0.2], dtype=np.float64), 50)
+        col = Column("c", segments=make_segments(values, "rle", 16),
+                     dtype=values.dtype)
+        # float sums must keep sequential accumulation: the direct
+        # run-fold is refused, callers decompress instead
+        assert col.view().fold("sum") is None
+        assert col.view().fold("min") is not None
+
+
+# -- seal-time stats ----------------------------------------------------------
+
+
+class TestSealStats:
+    def test_min_max_computed_once(self):
+        values = np.array([5, -3, 9, 9, -3, 0], dtype=np.int64)
+        col = Column("c", segments=make_segments(values, "auto", 2),
+                     dtype=values.dtype)
+        assert col.min == -3 and col.max == 9
+
+    def test_nan_propagates(self):
+        col = Column("c", np.array([1.0, np.nan, 3.0]))
+        assert np.isnan(col.min) and np.isnan(col.max)
+
+    def test_store_stats_read_cached(self):
+        store = ColumnStore()
+        store.add(Table.from_arrays("t", v=np.arange(100, dtype=np.int64)))
+        stats = store.stats("t", "v")
+        assert stats.min == 0 and stats.max == 99
+
+
+# -- persistence --------------------------------------------------------------
+
+
+def _mixed_store() -> ColumnStore:
+    rng = np.random.default_rng(0)
+    n = 500
+    store = ColumnStore(meta={"generator": "test", "seed": 0})
+    store.add(Table.from_arrays(
+        "t",
+        runs=np.repeat(rng.integers(0, 4, n // 10), 10).astype(np.int64),
+        wide=rng.integers(-(2**50), 2**50, n),
+        f=np.where(rng.random(n) < 0.1, np.nan, rng.standard_normal(n)),
+        tag=[f"tag{i % 7}" for i in range(n)],
+        flag=rng.random(n) < 0.5,
+    ))
+    return store
+
+
+class TestPersistence:
+    @pytest.mark.parametrize("mmap", [True, False])
+    def test_round_trip_bit_exact(self, mmap):
+        store = _mixed_store()
+        with tempfile.TemporaryDirectory() as tmp:
+            save(store, tmp, encoding="auto", segment_rows=64)
+            loaded = load(tmp, mmap=mmap)
+            assert loaded.fingerprint() != store.fingerprint()  # resealed
+            for table in store.tables():
+                for col in table.columns.values():
+                    other = loaded.table(table.name).column(col.name)
+                    assert bit_equal(other.data, col.data)
+                    if col.dictionary is not None:
+                        assert other.dictionary.values() == col.dictionary.values()
+            assert loaded.meta["generator"] == "test"
+            loaded.release()
+
+    def test_same_layout_same_fingerprint(self):
+        store = _mixed_store()
+        with tempfile.TemporaryDirectory() as tmp:
+            save(store, tmp)
+            assert load(tmp, mmap=True).fingerprint() == store.fingerprint()
+
+    def test_mmap_load_is_lazy(self):
+        """Loading and reading catalog stats must not scan payload bytes."""
+        store = _mixed_store()
+        with tempfile.TemporaryDirectory() as tmp:
+            save(store, tmp, encoding="auto", segment_rows=64)
+            loaded = load(tmp, mmap=True)
+            col = loaded.table("t").column("runs")
+            _ = col.min, col.max, col.dtype, len(col)
+            _ = loaded.total_bytes()
+            assert loaded.io.bytes_scanned == 0
+            assert loaded.io.bytes_decompressed == 0
+            _ = col.data  # now it decodes
+            assert loaded.io.bytes_scanned > 0
+
+    def test_catalog_carries_stats_and_encodings(self):
+        store = _mixed_store()
+        with tempfile.TemporaryDirectory() as tmp:
+            save(store, tmp, encoding="auto", segment_rows=64)
+            catalog = json.loads((Path(tmp) / "catalog.json").read_text())
+            assert catalog["version"] == 2
+            runs = catalog["tables"]["t"]["columns"]["runs"]
+            assert all("stats" in seg and "encoding" in seg
+                       for seg in runs["segments"])
+
+    def test_failed_save_leaves_store_intact(self):
+        store = _mixed_store()
+        with tempfile.TemporaryDirectory() as tmp:
+            save(store, tmp)
+            before = (Path(tmp) / "catalog.json").read_bytes()
+            with pytest.raises(StorageError):
+                save(store, tmp, encoding="bogus")
+            assert (Path(tmp) / "catalog.json").read_bytes() == before
+            assert not glob.glob(str(Path(tmp) / "*.tmp"))
+            loaded = load(tmp)
+            assert bit_equal(loaded.table("t").column("wide").data,
+                             store.table("t").column("wide").data)
+
+
+# -- append -------------------------------------------------------------------
+
+
+class TestAppend:
+    def test_append_seals_segment_and_bumps_fingerprint(self):
+        store = ColumnStore()
+        store.add(Table.from_arrays("t", v=np.arange(10, dtype=np.int64)))
+        before = store.fingerprint()
+        store.append("t", {"v": np.arange(10, 14, dtype=np.int64)})
+        assert store.fingerprint() != before
+        assert len(store.table("t")) == 14
+        assert store.table("t").column("v").row_offsets() == (10,)
+        assert bit_equal(store.table("t").column("v").data,
+                         np.concatenate([np.arange(10), np.arange(10, 14)]))
+
+    def test_append_merges_dictionary(self):
+        store = ColumnStore()
+        store.add(Table.from_arrays("t", s=["b", "a", "b"]))
+        store.append("t", {"s": ["c", "a"]})
+        col = store.table("t").column("s")
+        assert col.dictionary.decode(col.data) == ["b", "a", "b", "c", "a"]
+
+    def test_append_then_query_invalidates_plan(self):
+        store = ColumnStore()
+        store.add(Table.from_arrays("t", v=np.arange(100, dtype=np.int64)))
+        with VoodooEngine(store, config=EngineConfig(tracing=False)) as engine:
+            sql = "SELECT SUM(v) AS s FROM t"
+            assert engine.query(sql).column("s")[0] == 4950
+            store.append("t", {"v": np.array([50], dtype=np.int64)})
+            assert engine.query(sql).column("s")[0] == 5000
+
+    def test_append_validates(self):
+        store = ColumnStore()
+        store.add(Table.from_arrays("t", a=np.arange(3), b=np.arange(3.0)))
+        with pytest.raises(StorageError):
+            store.append("t", {"a": np.arange(2)})  # missing column
+        with pytest.raises(StorageError):
+            store.append("t", {"a": np.arange(2), "b": np.arange(3.0)})
+
+
+# -- honest accounting --------------------------------------------------------
+
+
+class TestTotalBytes:
+    def test_counts_dictionary_and_segments(self):
+        store = ColumnStore()
+        store.add(Table.from_arrays("t", s=["x" * 100, "y" * 100],
+                                    v=np.arange(2, dtype=np.int64)))
+        report = store.memory_report()
+        assert report["dictionary_bytes"] > 200
+        assert report["total_bytes"] == (
+            report["segment_bytes"] + report["dictionary_bytes"]
+            + report["aux_bytes"]
+        )
+
+    def test_compression_shrinks_total(self):
+        store = ColumnStore()
+        store.add(Table.from_arrays(
+            "t", v=np.repeat(np.arange(50, dtype=np.int64), 100)))
+        comp = resegment(store, encoding="auto")
+        assert comp.total_bytes() < store.total_bytes()
+        report = comp.storage_report()
+        assert report["encodings"].get("rle", 0) >= 1
+
+
+# -- planner ------------------------------------------------------------------
+
+
+class TestChunkBoundaries:
+    def test_no_boundaries_unchanged(self):
+        assert chunk_ranges(100, 4) == [(0, 25), (25, 50), (50, 75), (75, 100)]
+
+    def test_snaps_to_nearby_boundaries(self):
+        assert chunk_ranges(100, 4, boundaries=(24, 52, 74)) == [
+            (0, 24), (24, 52), (52, 74), (74, 100)]
+
+    def test_balance_guard(self):
+        # a lone far-away segment boundary must not collapse parallelism
+        assert chunk_ranges(1000, 2, boundaries=(10,)) == [(0, 500), (500, 1000)]
+
+    def test_run_alignment_wins(self):
+        # boundaries that would split an aligned control run are ignored
+        assert chunk_ranges(100, 4, align=10, boundaries=(23, 55)) == [
+            (0, 30), (30, 60), (60, 80), (80, 100)]
+        assert chunk_ranges(100, 4, align=10, boundaries=(20, 60)) == [
+            (0, 20), (20, 60), (60, 80), (80, 100)]
+
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_invariants(self, data):
+        n = data.draw(st.integers(1, 500))
+        workers = data.draw(st.integers(1, 8))
+        align = data.draw(st.integers(1, 16))
+        bounds = tuple(sorted(data.draw(
+            st.sets(st.integers(1, max(1, n - 1)), max_size=10))))
+        ranges = chunk_ranges(n, workers, align, boundaries=bounds)
+        assert ranges[0][0] == 0 and ranges[-1][1] == n
+        assert all(hi > lo for lo, hi in ranges)
+        assert all(a[1] == b[0] for a, b in zip(ranges, ranges[1:]))
+        assert all(lo % align == 0 for lo, hi in ranges)
+
+
+# -- layout invariance (mini conformance) -------------------------------------
+
+
+class TestLayoutInvariance:
+    def _stores(self):
+        base = _mixed_store()
+        variants = {
+            "segmented": resegment(base, encoding="plain", segment_rows=64),
+            "compressed": resegment(base, encoding="auto", segment_rows=64),
+        }
+        tmp = tempfile.mkdtemp()
+        save(variants["compressed"], tmp)
+        variants["mmap"] = load(tmp, mmap=True)
+        return base, variants
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_queries_invariant_under_layout(self, workers):
+        from repro.compiler import ExecutionOptions
+
+        base, variants = self._stores()
+        sqls = [
+            "SELECT SUM(runs) AS s, MIN(wide) AS lo, MAX(wide) AS hi FROM t",
+            "SELECT runs, COUNT(*) AS n FROM t GROUP BY runs ORDER BY runs",
+            "SELECT SUM(f) AS s FROM t WHERE runs >= 2",
+        ]
+        execution = ExecutionOptions(workers=workers) if workers > 1 else None
+        def run(store):
+            with VoodooEngine(store, config=EngineConfig(
+                    tracing=False, execution=execution)) as engine:
+                return [engine.query(sql) for sql in sqls]
+        expect = run(base)
+        for name, store in variants.items():
+            for sql, a, b in zip(sqls, expect, run(store)):
+                for c in a.columns:
+                    assert bit_equal(a.arrays[c], b.arrays[c]), (name, sql, c)
+
+    def test_constant_aggregate_over_empty_table(self):
+        # Regression: upsert's uniform-run fast path dropped pending lazy
+        # column handles when a constant was upserted onto a value whose
+        # storage columns had not been touched yet (only reachable when
+        # value.length >= target.length, i.e. empty/one-row tables) —
+        # the later row-compaction gather then failed to find the index.
+        from repro.relational import algebra as ra
+        from repro.relational.expressions import Lit
+
+        store = ColumnStore()
+        store.add(Table.from_arrays("t", v=np.arange(0, dtype=np.int64)))
+        query = ra.Query(
+            plan=ra.GroupBy(
+                child=ra.Scan("t"),
+                keys=[],
+                aggs={"a1": ra.AggSpec(fn="avg", expr=Lit(7)),
+                      "a2": ra.AggSpec(fn="max", expr=Lit(6))},
+            ),
+            select=["a1", "a2"],
+        )
+        with VoodooEngine(store, config=EngineConfig(tracing=False)) as engine:
+            result = engine.query(query)
+        with VoodooEngine(store, config=EngineConfig(tracing=True)) as engine:
+            reference = engine.query(query)
+        for c in reference.columns:
+            assert bit_equal(result.arrays[c], reference.arrays[c]), c
+
+    def test_rle_folds_scan_without_decompressing(self):
+        store = ColumnStore()
+        store.add(Table.from_arrays(
+            "t", v=np.repeat(np.arange(20, dtype=np.int64), 500)))
+        comp = resegment(store, encoding="rle")
+        with VoodooEngine(comp, config=EngineConfig(tracing=False)) as engine:
+            result = engine.execute("SELECT SUM(v) AS s FROM t")
+        assert result.table.column("s")[0] == comp.table("t").column("v").data.sum()
+        assert result.io is not None
+        assert result.io["bytes_scanned"] > 0
+        # the whole query folded over runs: nothing was decoded
+        assert result.io["bytes_decompressed"] < result.io["bytes_scanned"]
